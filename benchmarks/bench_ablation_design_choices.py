@@ -1,0 +1,80 @@
+"""Extended ablations for the design choices called out in DESIGN.md §5.
+
+Beyond the paper's Table III, this bench isolates:
+
+* **D1** — hotspot-aware piecewise uncertainty (Eq. (6)) vs plain BvSB
+  (Eq. (3)) vs prediction entropy.
+* **D4** — keeping unselected query samples (the paper) vs discarding
+  them each iteration (the [14] behaviour the paper critiques).
+* **D5** — temperature scaling on vs off in the sampling/detection loop.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.bench import base_framework_config, bench_seeds, format_table, load_dataset, write_report
+from repro.core import PSHDFramework
+from repro.core.sampling import SamplingConfig
+
+CASES = ("iccad16-3", "iccad16-4")
+
+
+def _run(name, cfg, seeds):
+    dataset = load_dataset(name)
+    accs, lithos = [], []
+    for seed in range(seeds):
+        result = PSHDFramework(dataset, replace(cfg, seed=seed)).run()
+        accs.append(result.accuracy)
+        lithos.append(float(result.litho))
+    return float(np.mean(accs)), float(np.mean(lithos))
+
+
+def run_design_ablations(seeds=None):
+    seeds = seeds if seeds is not None else bench_seeds()
+    variants = {}
+    for name in CASES:
+        base = base_framework_config(name)
+        variants[name] = {
+            # D1: uncertainty metric family
+            "D1 hotspot-aware": replace(
+                base, sampling=SamplingConfig(uncertainty_metric="hotspot_aware")
+            ),
+            "D1 bvsb": replace(
+                base, sampling=SamplingConfig(uncertainty_metric="bvsb")
+            ),
+            "D1 entropy": replace(
+                base, sampling=SamplingConfig(uncertainty_metric="entropy")
+            ),
+            # D4: query-remainder policy
+            "D4 keep rest": base,
+            "D4 discard rest": replace(base, discard_query_rest=True),
+            # D5: calibration
+            "D5 calibrated": base,
+            "D5 uncalibrated": replace(base, calibrate=False),
+        }
+
+    rows = []
+    data = {}
+    for name in CASES:
+        for label, cfg in variants[name].items():
+            acc, litho = _run(name, cfg, seeds)
+            data[(name, label)] = (acc, litho)
+            rows.append([name, label, 100.0 * acc, int(litho)])
+    return data, format_table(["benchmark", "variant", "Acc%", "Litho#"], rows)
+
+
+def test_design_choice_ablations(benchmark):
+    data, text = benchmark.pedantic(run_design_ablations, rounds=1,
+                                    iterations=1)
+    write_report("ablation_design_choices", text)
+
+    for case in CASES:
+        # D4: keeping the query remainder should not hurt accuracy
+        keep_acc, _ = data[(case, "D4 keep rest")]
+        drop_acc, _ = data[(case, "D4 discard rest")]
+        assert keep_acc >= drop_acc - 0.03, case
+        # D1/D5 variants all produce valid runs
+        for label in ("D1 bvsb", "D1 entropy", "D5 uncalibrated"):
+            acc, litho = data[(case, label)]
+            assert 0.0 <= acc <= 1.0 and litho > 0

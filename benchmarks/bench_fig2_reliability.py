@@ -1,0 +1,22 @@
+"""Fig. 2 — reliability diagrams before and after temperature scaling.
+
+The paper's claim: the uncalibrated CNN shows a visible gap between
+confidence and accuracy per 10-bin reliability diagram; temperature
+scaling (Eq. (5)) closes it without changing any prediction.
+"""
+
+from repro.bench import fig2_reliability, write_report
+
+
+def test_fig2_reliability_diagrams(benchmark):
+    (before, after, temperature), text = benchmark.pedantic(
+        fig2_reliability, rounds=1, iterations=1
+    )
+    write_report("fig2_reliability", text)
+
+    # calibration must reduce the expected calibration error
+    assert after.ece <= before.ece + 1e-9
+    # a fitted temperature exists and is positive
+    assert temperature > 0
+    # both diagrams bin the same population
+    assert before.count.sum() == after.count.sum()

@@ -1,0 +1,34 @@
+"""Fig. 4 — accuracy vs lithography-overhead trade-off curves.
+
+Sweeps the labeling budget (iteration count) per batch-selection method
+and traces the (accuracy, litho) frontier on two ICCAD16 cases.  Shape
+target: at matched accuracy, 'ours' needs the least lithography; TS is
+cheap but cannot reach the highest accuracy; QP trails ours.
+"""
+
+import numpy as np
+
+from repro.bench import fig4_tradeoff, write_report
+
+
+def test_fig4_tradeoff_curves(benchmark):
+    def run_both():
+        blocks = {}
+        for case in ("iccad16-2", "iccad16-4"):
+            blocks[case] = fig4_tradeoff(benchmark=case)
+        return blocks
+
+    blocks = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    text = "\n\n".join(
+        f"== {case} ==\n{rendered}" for case, (_, rendered) in blocks.items()
+    )
+    write_report("fig4_tradeoff", text)
+
+    for case, (series, _) in blocks.items():
+        best_ours = max(acc for acc, _ in series["ours"])
+        best_qp = max(acc for acc, _ in series["qp"])
+        # ours reaches at least QP's best accuracy on each case
+        assert best_ours >= best_qp - 0.02, case
+        # all runs produced valid points
+        for method, points in series.items():
+            assert all(0 <= acc <= 1 and litho > 0 for acc, litho in points)

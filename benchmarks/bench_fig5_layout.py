@@ -1,0 +1,23 @@
+"""Fig. 5 — hotspot distribution and litho-sampled clips on the layout.
+
+ASCII chip maps for PM-exact, TS, QP and Ours on an ICCAD16-2-style
+layout: hotspot positions vs which clips each method paid to simulate.
+Shape target: PM-exact shades almost the whole chip; the AL methods
+sample a small subset that still covers the hotspot regions.
+"""
+
+from repro.bench import fig5_layout, write_report
+
+
+def test_fig5_layout_maps(benchmark):
+    runs, text = benchmark.pedantic(fig5_layout, rounds=1, iterations=1)
+    write_report("fig5_layout", text)
+
+    pm = runs["PM-exact"]
+    ours = runs["Ours"]
+    # PM-exact litho-samples more of the chip than the AL flow
+    assert pm.litho > ours.litho
+    # every method recorded its sampled-clip positions
+    for result in runs.values():
+        assert result.labeled is not None
+        assert len(result.labeled) > 0

@@ -1,0 +1,34 @@
+"""Fig. 6 — (a) fixed vs dynamic entropy weights on ICCAD16-3;
+(b) overall runtime model (10 s per litho-clip + PSHD overhead) across
+PM-exact / TS / QP / Ours.
+
+Shape targets: dynamic weights are not dominated by any fixed w2, and
+the modelled runtime orders PM-exact as by far the slowest because the
+litho bill dominates everything else.
+"""
+
+from repro.bench import fig6a_weights, fig6b_runtime, write_report
+
+
+def test_fig6a_fixed_vs_dynamic_weights(benchmark):
+    data, text = benchmark.pedantic(fig6a_weights, rounds=1, iterations=1)
+    write_report("fig6a_weights", text)
+
+    dyn_acc, dyn_litho = data["dynamic"]
+    # dynamic weights must not be clearly dominated by a fixed setting
+    for label, (acc, litho) in data.items():
+        if label == "dynamic":
+            continue
+        dominated = acc > dyn_acc + 0.02 and litho < dyn_litho * 0.9
+        assert not dominated, f"dynamic dominated by {label}"
+
+
+def test_fig6b_runtime_model(benchmark):
+    data, text = benchmark.pedantic(fig6b_runtime, rounds=1, iterations=1)
+    write_report("fig6b_runtime", text)
+
+    for case in ("iccad16-2", "iccad16-4"):
+        pm = data[(case, "pm-exact")]
+        ours = data[(case, "ours")]
+        # the 10 s/litho-clip model makes PM-exact the slowest method
+        assert pm > ours, case

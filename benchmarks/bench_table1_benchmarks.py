@@ -1,0 +1,20 @@
+"""Table I — benchmark statistics (paper targets vs built datasets)."""
+
+from repro.bench import table1, write_report
+from repro.data import BENCHMARKS
+
+
+def test_table1_benchmark_statistics(benchmark):
+    rows, text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    write_report("table1_benchmarks", text)
+
+    by_name = {row[0]: row for row in rows}
+    # ICCAD16-1 must be hotspot-free, as in the paper
+    assert by_name["iccad16-1"][3] == 0
+    # every built case tracks its Table I hotspot ratio within 2x
+    for name, row in by_name.items():
+        spec = BENCHMARKS[name]
+        if spec.paper_hotspots == 0:
+            continue
+        built_ratio = row[3] / (row[3] + row[4])
+        assert 0.4 * spec.paper_ratio < built_ratio < 2.5 * spec.paper_ratio

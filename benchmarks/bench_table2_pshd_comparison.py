@@ -1,0 +1,34 @@
+"""Table II — full-chip pattern sampling and hotspot detection.
+
+Regenerates the paper's main comparison: PM-exact / PM-a95 / PM-a90 /
+PM-e2 / TS / QP / Ours on ICCAD12 and ICCAD16-2/3/4, reporting Acc% and
+Litho# per case plus Average and Ratio rows.
+"""
+
+import numpy as np
+
+from repro.bench import EVAL_BENCHMARKS, table2, write_report
+
+
+def test_table2_full_comparison(benchmark):
+    results, text = benchmark.pedantic(table2, rounds=1, iterations=1)
+    write_report("table2_pshd_comparison", text)
+
+    def average(metric_index, method):
+        return float(
+            np.mean([results[method][b][metric_index] for b in EVAL_BENCHMARKS])
+        )
+
+    # shape targets from the paper (not absolute values):
+    # 1. exact pattern matching is perfectly accurate but pays the
+    #    largest lithography bill (8.6x at paper scale; the gap shrinks
+    #    at reduced dataset scale, see EXPERIMENTS.md)
+    assert average(0, "pm-exact") == 1.0
+    assert average(1, "pm-exact") > 1.5 * average(1, "ours")
+    # 2. loose fuzzy matching loses accuracy vs exact matching
+    assert average(0, "pm-a90") < average(0, "pm-exact")
+    # 3. ours reaches the best average accuracy among the AL methods
+    assert average(0, "ours") >= average(0, "qp") - 0.01
+    assert average(0, "ours") >= average(0, "ts") - 0.01
+    # 4. ours does not pay more litho than TS on average
+    assert average(1, "ours") <= 1.15 * average(1, "ts")

@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(DESIGN.md §3) and saves the artifact under ``benchmarks/out``.  The
+heavy experiment functions run exactly once via ``benchmark.pedantic``;
+datasets are cached on disk after the first build.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _show_output(capsys):
+    """Let the rendered tables reach the terminal after each bench."""
+    yield

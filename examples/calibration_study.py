@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Calibration study: why temperature scaling matters for sampling.
+
+Reproduces the Fig. 2 experiment interactively: trains the hotspot CNN,
+prints reliability diagrams before and after temperature scaling, and
+shows how calibration changes the hotspot-aware uncertainty ranking
+(Eq. (6)) that drives batch selection.
+
+Run:  python examples/calibration_study.py
+"""
+
+import numpy as np
+
+from repro.calibration import TemperatureScaler, reliability_diagram
+from repro.core import hotspot_aware_uncertainty
+from repro.data import build_benchmark
+from repro.model import HotspotClassifier
+from repro.nn.losses import softmax
+
+
+def print_diagram(tag, diagram):
+    print(f"\n{tag}: ECE={diagram.ece:.4f} MCE={diagram.mce:.4f}")
+    print("  bin    conf    acc    gap   count")
+    for center, conf, acc, count in diagram.to_rows():
+        if count == 0:
+            continue
+        print(f"  {center:.2f}  {conf:6.3f} {acc:6.3f} "
+              f"{abs(conf - acc):6.3f}  {count:5d}")
+
+
+def main() -> None:
+    dataset = build_benchmark("iccad16-3", scale=0.15, seed=0)
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(dataset))
+    train = order[: len(order) // 2]
+    val = order[len(order) // 2 : 2 * len(order) // 3]
+    test = order[2 * len(order) // 3 :]
+
+    clf = HotspotClassifier(input_shape=dataset.tensors.shape[1:],
+                            arch="mlp", epochs=25, seed=0)
+    clf.fit_scaler(dataset.tensors)
+    clf.fit(dataset.tensors[train], dataset.labels[train])
+
+    scaler = TemperatureScaler().fit(
+        clf.predict_logits(dataset.tensors[val]), dataset.labels[val]
+    )
+    print(f"fitted temperature T = {scaler.temperature_:.3f} "
+          f"(T > 1 means the raw network was overconfident)")
+
+    logits = clf.predict_logits(dataset.tensors[test])
+    y = dataset.labels[test]
+    raw_probs = softmax(logits)
+    cal_probs = scaler.transform(logits)
+
+    print_diagram("original (Fig. 2a)", reliability_diagram(raw_probs, y))
+    print_diagram("calibrated (Fig. 2b)", reliability_diagram(cal_probs, y))
+
+    # calibration never flips predictions...
+    assert np.array_equal(raw_probs.argmax(1), cal_probs.argmax(1))
+    # ...but it reorders the sampling priority of Eq. (6)
+    raw_rank = np.argsort(-hotspot_aware_uncertainty(raw_probs))
+    cal_rank = np.argsort(-hotspot_aware_uncertainty(cal_probs))
+    k = 20
+    overlap = len(set(raw_rank[:k]) & set(cal_rank[:k]))
+    print(f"\ntop-{k} sampling candidates before vs after calibration: "
+          f"{overlap}/{k} overlap")
+    print("-> the scores feeding EntropySampling change materially, which "
+          "is exactly\n   why the paper calibrates before computing "
+          "uncertainty (Section III-A1).")
+
+
+if __name__ == "__main__":
+    main()

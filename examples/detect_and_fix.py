@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Detect-and-fix: hotspot detection feeding OPC mask correction.
+
+The paper's framework finds hotspots cheaply; this example closes the
+DFM loop by *fixing* what it finds:
+
+1. run active entropy sampling on a fresh chip (real litho in the loop),
+2. take the hotspot clips the flow discovered,
+3. correct each one's mask with the pixel-OPC module, and
+4. re-simulate to confirm the defects are gone.
+
+Run:  python examples/detect_and_fix.py
+"""
+
+import numpy as np
+
+from repro.data.synth import DUV_RULES, generate_layout
+from repro.layout import extract_clip_grid
+from repro.litho import (
+    LithoSimulator,
+    OPCConfig,
+    ThresholdResist,
+    duv_model,
+    find_defects,
+    optimize_mask,
+)
+
+
+def main() -> None:
+    # --- 1. a 28 nm chip with a controlled share of marginal patterns --
+    layout = generate_layout(
+        DUV_RULES, tiles_x=8, tiles_y=8, stress_probability=0.4,
+        seed=21, name="fixme-chip", target_ratio=0.15,
+    )
+    clips = extract_clip_grid(
+        layout, DUV_RULES.clip_size, DUV_RULES.core_margin, drop_empty=False
+    )
+    grid = 96
+    optical = duv_model()
+    resist = ThresholdResist()
+    simulator = LithoSimulator(optical=optical, resist=resist, grid=grid)
+
+    # --- 2. find the hotspots (full scan here; see quickstart for the
+    #        sampled flow — this example focuses on the fixing stage) ---
+    hotspot_clips = [c for c in clips if simulator.is_hotspot(c)]
+    print(f"chip: {len(clips)} clips, {len(hotspot_clips)} hotspots found\n")
+
+    # --- 3./4. OPC-correct each hotspot and verify -----------------------
+    pixel_nm = DUV_RULES.clip_size / grid
+    fixed = 0
+    improved = 0
+    for clip in hotspot_clips[:8]:  # cap the demo at eight fixes
+        target = clip.raster(grid, antialias=True)
+        result = optimize_mask(
+            target, optical, resist, pixel_nm, OPCConfig(iterations=15)
+        )
+        printed = resist.develop(optical.aerial_image(result.mask, pixel_nm))
+        sim_core = simulator._core_bounds_px(clip)
+        row0, col0, row1, col1 = sim_core
+        defects = find_defects(
+            target >= 0.5, printed, sim_core,
+            epe_tolerance_px=simulator.epe_tolerance_px,
+            morph_margin_px=simulator.morph_margin_px,
+            min_defect_px=simulator.min_defect_px,
+        )
+        before = simulator.simulate(clip).defect_count
+        status = "FIXED" if not defects else (
+            "improved" if len(defects) < before else "unchanged"
+        )
+        fixed += not defects
+        improved += bool(defects) and len(defects) < before
+        print(f"clip #{clip.index:3d}: defects {before:2d} -> "
+              f"{len(defects):2d} at nominal  [{status}]  "
+              f"(print error {result.initial_error:.4f} -> "
+              f"{result.final_error:.4f})")
+
+    total = min(len(hotspot_clips), 8)
+    print(f"\nsummary: {fixed}/{total} hotspots fully fixed at the nominal "
+          f"corner, {improved} further improved.")
+    print("note: OPC fixes the nominal print; full process-window "
+          "requalification\n(repro.litho.analyze_process_window) decides "
+          "sign-off, and geometry that\ncannot be fixed by mask bias alone "
+          "needs a layout change.")
+
+
+if __name__ == "__main__":
+    main()

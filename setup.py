@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. This shim
+lets ``python setup.py develop`` provide the equivalent editable install.
+"""
+
+from setuptools import setup
+
+setup()

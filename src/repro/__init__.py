@@ -1,0 +1,28 @@
+"""repro — reproduction of "Low-Cost Lithography Hotspot Detection with
+Active Entropy Sampling and Model Calibration" (Xiao et al., DAC 2021).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: calibrated hotspot-aware uncertainty,
+    min-distance diversity, entropy weighting, the EntropySampling batch
+    selector (Alg. 1) and the overall PSHD framework (Alg. 2).
+``repro.nn``
+    Pure-numpy deep-learning engine (conv/dense layers, losses, optimizers).
+``repro.layout`` / ``repro.litho``
+    Layout geometry and the lithography simulator that acts as the
+    expensive labeling oracle.
+``repro.data`` / ``repro.features``
+    Synthetic ICCAD'12/'16-style benchmark builders and DCT feature
+    extraction.
+``repro.model`` / ``repro.calibration``
+    The hotspot CNN and temperature-scaling calibration.
+``repro.stats``
+    GMM / PCA / k-means used for query-set formation and baselines.
+``repro.baselines``
+    Pattern matching (exact and fuzzy), TS, and QP comparison methods.
+``repro.bench``
+    Experiment harness reproducing every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"

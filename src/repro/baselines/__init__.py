@@ -1,0 +1,30 @@
+"""Baseline methods (S10): pattern matching (exact + fuzzy), the TS and
+QP active-learning baselines, and extra sanity selectors."""
+
+from .badge import badge_gradient_embedding, badge_selector, cluster_selector
+from .pattern_matching import PM_MODES, PatternMatcher, run_pattern_matching
+from .qp import project_capped_simplex, qp_selector, solve_qp_relaxation
+from .samplers import (
+    METHODS,
+    kcenter_selector,
+    make_config,
+    random_selector,
+    ts_selector,
+)
+
+__all__ = [
+    "PatternMatcher",
+    "run_pattern_matching",
+    "PM_MODES",
+    "project_capped_simplex",
+    "solve_qp_relaxation",
+    "qp_selector",
+    "ts_selector",
+    "random_selector",
+    "kcenter_selector",
+    "badge_gradient_embedding",
+    "badge_selector",
+    "cluster_selector",
+    "make_config",
+    "METHODS",
+]

@@ -1,0 +1,92 @@
+"""BADGE and cluster-diversity batch selectors.
+
+Two further literature baselines the paper cites in its related work:
+
+* **BADGE** (Ash et al. [13]): embed each sample by its hypothetical
+  loss gradient at the output layer — the embedding scaled by the
+  distance of the prediction from a hard label — then pick a batch with
+  k-means++ seeding, which is simultaneously uncertainty-aware (gradient
+  magnitude) and diverse (D^2 spread).
+* **Cluster diversity** (Zhang & Rudnicky [11] style): k-means the
+  query embeddings into ``k`` clusters and take the most uncertain
+  sample of each cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.framework import SelectionContext
+from ..core.uncertainty import bvsb_uncertainty
+from ..stats.kmeans import KMeans, kmeans_pp_init
+
+__all__ = ["badge_gradient_embedding", "badge_selector", "cluster_selector"]
+
+
+def badge_gradient_embedding(
+    probs: np.ndarray, embeddings: np.ndarray
+) -> np.ndarray:
+    """Per-sample last-layer gradient embeddings.
+
+    For softmax cross-entropy with pseudo-label ``argmax p``, the
+    gradient w.r.t. the last-layer weights for class c is
+    ``(p_c - 1[c = argmax]) x`` — stacking the two class blocks gives a
+    ``2 * d`` embedding whose norm grows with prediction uncertainty.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if probs.ndim != 2 or probs.shape[1] != 2:
+        raise ValueError(f"expected (N, 2) probabilities, got {probs.shape}")
+    if len(probs) != len(embeddings):
+        raise ValueError("probs and embeddings lengths differ")
+    pseudo = probs.argmax(axis=1)
+    coeff = probs.copy()
+    coeff[np.arange(len(probs)), pseudo] -= 1.0  # (N, 2)
+    # block outer product -> (N, 2 * d)
+    return (coeff[:, :, None] * embeddings[:, None, :]).reshape(len(probs), -1)
+
+
+def badge_selector(context: SelectionContext) -> np.ndarray:
+    """BADGE: k-means++ seeding over gradient embeddings."""
+    n = len(context.calibrated_probs)
+    k = min(context.k, n)
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    grads = badge_gradient_embedding(context.raw_probs, context.embeddings)
+    centres = kmeans_pp_init(grads, k, context.rng)
+    chosen: list[int] = []
+    available = np.ones(n, dtype=bool)
+    for centre in centres:
+        distances = np.linalg.norm(grads - centre, axis=1)
+        distances[~available] = np.inf
+        pick = int(np.argmin(distances))
+        chosen.append(pick)
+        available[pick] = False
+    return np.array(chosen, dtype=np.int64)
+
+
+def cluster_selector(context: SelectionContext) -> np.ndarray:
+    """Cluster diversity: most-uncertain representative per k-means
+    cluster of the embedding space."""
+    n = len(context.calibrated_probs)
+    k = min(context.k, n)
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    uncertainty = bvsb_uncertainty(context.calibrated_probs)
+    seed = int(context.rng.integers(0, 2**31))
+    km = KMeans(k, seed=seed).fit(np.asarray(context.embeddings))
+    chosen: list[int] = []
+    for cluster in range(k):
+        members = np.flatnonzero(km.labels_ == cluster)
+        if len(members) == 0:
+            continue
+        chosen.append(int(members[np.argmax(uncertainty[members])]))
+    # pad from global uncertainty order if empty clusters left gaps
+    if len(chosen) < k:
+        order = np.argsort(-uncertainty, kind="stable")
+        for idx in order:
+            if int(idx) not in chosen:
+                chosen.append(int(idx))
+            if len(chosen) == k:
+                break
+    return np.array(chosen[:k], dtype=np.int64)

@@ -1,0 +1,108 @@
+"""Non-QP batch-selection baselines and ready-made framework configs.
+
+* ``ts_selector`` — the "TS" column of Table II: top-k by calibrated
+  hotspot-aware uncertainty alone (temperature scaling, no diversity).
+* ``random_selector`` — uniform random batch (sanity floor).
+* ``kcenter_selector`` — greedy k-centre (core-set style) diversity-only
+  selection, an extra baseline beyond the paper.
+
+``make_config`` builds a :class:`~repro.core.framework.FrameworkConfig`
+for any named method so experiment code stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.framework import FrameworkConfig, SelectionContext
+from ..core.sampling import SamplingConfig
+from ..core.uncertainty import hotspot_aware_uncertainty
+from .badge import badge_selector, cluster_selector
+from .qp import qp_selector
+
+__all__ = [
+    "ts_selector",
+    "random_selector",
+    "kcenter_selector",
+    "make_config",
+    "METHODS",
+]
+
+
+def ts_selector(context: SelectionContext) -> np.ndarray:
+    """Top-k by calibrated hotspot-aware uncertainty (no diversity)."""
+    scores = hotspot_aware_uncertainty(context.calibrated_probs)
+    k = min(context.k, len(scores))
+    return np.argsort(-scores, kind="stable")[:k].astype(np.int64)
+
+
+def random_selector(context: SelectionContext) -> np.ndarray:
+    """Uniform random batch."""
+    n = len(context.calibrated_probs)
+    k = min(context.k, n)
+    return context.rng.choice(n, size=k, replace=False).astype(np.int64)
+
+
+def kcenter_selector(context: SelectionContext) -> np.ndarray:
+    """Greedy k-centre over embeddings (diversity-only core-set)."""
+    embeddings = np.asarray(context.embeddings, dtype=np.float64)
+    n = len(embeddings)
+    k = min(context.k, n)
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    chosen = [int(np.argmax(np.linalg.norm(embeddings, axis=1)))]
+    distances = np.linalg.norm(embeddings - embeddings[chosen[0]], axis=1)
+    while len(chosen) < k:
+        nxt = int(np.argmax(distances))
+        chosen.append(nxt)
+        distances = np.minimum(
+            distances, np.linalg.norm(embeddings - embeddings[nxt], axis=1)
+        )
+    return np.array(chosen, dtype=np.int64)
+
+
+METHODS = ("ours", "ts", "qp", "random", "kcenter", "badge", "cluster")
+
+
+def make_config(method: str, base: FrameworkConfig | None = None) -> FrameworkConfig:
+    """Framework configuration for a named Table II method.
+
+    ``base`` carries the shared hyperparameters (batch sizes, epochs,
+    seed); only the selection strategy differs between methods:
+
+    * ``ours``   — EntropySampling (Alg. 1), keeps unselected queries.
+    * ``ts``     — calibrated uncertainty only.
+    * ``qp``     — uncalibrated BvSB + relaxed-QP diversity, and discards
+      unselected query samples, both mirroring [14].
+    * ``random`` / ``kcenter`` — sanity baselines.
+    """
+    base = base if base is not None else FrameworkConfig()
+    if method == "ours":
+        return replace(base, selector=None, method_name="ours",
+                       discard_query_rest=False,
+                       sampling=SamplingConfig())
+    if method == "ts":
+        return replace(base, selector=ts_selector, method_name="ts",
+                       discard_query_rest=False)
+    if method == "qp":
+        # [14] runs two-step sampling with a small first-step query set
+        # (about 2k) and discards its unselected remainder each round —
+        # the pattern-loss behaviour the paper critiques.
+        return replace(base, selector=qp_selector, method_name="qp",
+                       discard_query_rest=True,
+                       n_query=max(2 * base.k_batch, 2))
+    if method == "random":
+        return replace(base, selector=random_selector, method_name="random",
+                       discard_query_rest=False)
+    if method == "kcenter":
+        return replace(base, selector=kcenter_selector, method_name="kcenter",
+                       discard_query_rest=False)
+    if method == "badge":
+        return replace(base, selector=badge_selector, method_name="badge",
+                       discard_query_rest=False)
+    if method == "cluster":
+        return replace(base, selector=cluster_selector, method_name="cluster",
+                       discard_query_rest=False)
+    raise ValueError(f"unknown method {method!r}; known: {METHODS}")

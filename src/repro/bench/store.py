@@ -1,0 +1,100 @@
+"""Persistent JSON store for experiment results.
+
+Experiment campaigns accumulate :class:`~repro.core.metrics.PSHDResult`
+records across sessions; this store serializes them to a JSON-lines
+file keyed by (benchmark, method, seed) so the report CLI can aggregate
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.metrics import PSHDResult
+
+__all__ = ["ResultStore"]
+
+
+def _result_to_dict(result: PSHDResult, seed: int) -> dict:
+    return {
+        "benchmark": result.benchmark,
+        "method": result.method,
+        "seed": seed,
+        "accuracy": result.accuracy,
+        "litho": result.litho,
+        "hits": result.hits,
+        "false_alarms": result.false_alarms,
+        "n_train": result.n_train,
+        "n_val": result.n_val,
+        "hs_total": result.hs_total,
+        "iterations": result.iterations,
+        "pshd_seconds": result.pshd_seconds,
+        "history": result.history,
+    }
+
+
+def _dict_to_result(record: dict) -> PSHDResult:
+    fields = {k: v for k, v in record.items() if k != "seed"}
+    return PSHDResult(**fields)
+
+
+class ResultStore:
+    """Append-only JSON-lines result log with query helpers."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def append(self, result: PSHDResult, seed: int = 0) -> None:
+        """Record one run (history is preserved; labeled set is not)."""
+        record = _result_to_dict(result, seed)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    def load(self) -> list[dict]:
+        """All records, oldest first; missing file -> empty list."""
+        if not self.path.exists():
+            return []
+        records = []
+        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{self.path}:{lineno}: corrupt record: {exc}"
+                ) from None
+        return records
+
+    def results(
+        self, benchmark: str | None = None, method: str | None = None
+    ) -> list[PSHDResult]:
+        """Deserialized results, optionally filtered."""
+        out = []
+        for record in self.load():
+            if benchmark is not None and record["benchmark"] != benchmark:
+                continue
+            if method is not None and record["method"] != method:
+                continue
+            out.append(_dict_to_result(record))
+        return out
+
+    def summarize(self) -> dict:
+        """Mean (accuracy, litho) per (benchmark, method) pair."""
+        groups: dict[tuple[str, str], list[tuple[float, int]]] = {}
+        for record in self.load():
+            key = (record["benchmark"], record["method"])
+            groups.setdefault(key, []).append(
+                (record["accuracy"], record["litho"])
+            )
+        return {
+            key: (
+                float(np.mean([a for a, _ in values])),
+                float(np.mean([l for _, l in values])),
+            )
+            for key, values in groups.items()
+        }

@@ -1,0 +1,181 @@
+"""Regenerators for the paper's tables.
+
+* Table I  — benchmark statistics.
+* Table II — full PSHD comparison (PM-exact/a95/a90/e2, TS, QP, Ours).
+* Table III — component ablation (w/o.E, w/o.D, w/o.U, Full).
+
+Every function returns ``(rows, rendered_text)``; the text mirrors the
+paper's layout including the Average and Ratio summary rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..core.framework import PSHDFramework
+from ..core.sampling import SamplingConfig
+from ..data.benchmarks import BENCHMARKS
+from .harness import (
+    EVAL_BENCHMARKS,
+    base_framework_config,
+    bench_seeds,
+    format_table,
+    load_dataset,
+    run_method_averaged,
+)
+
+__all__ = ["table1", "table2", "table3", "TABLE2_METHODS", "TABLE3_VARIANTS"]
+
+TABLE2_METHODS = ("pm-exact", "pm-a95", "pm-a90", "pm-e2", "ts", "qp", "ours")
+
+#: Table III ablation variants -> Alg. 1 sampling configuration
+TABLE3_VARIANTS = {
+    "w/o.E": SamplingConfig(use_entropy_weights=False),
+    "w/o.D": SamplingConfig(use_diversity=False),
+    "w/o.U": SamplingConfig(use_uncertainty=False),
+    "Full": SamplingConfig(),
+}
+
+
+def table1() -> tuple[list[list], str]:
+    """Table I: HS#/NHS#/Tech of every benchmark (paper and built)."""
+    rows = []
+    for name, spec in BENCHMARKS.items():
+        if name == "iccad16-1":
+            dataset = load_dataset_16_1()
+        elif name in EVAL_BENCHMARKS:
+            dataset = load_dataset(name)
+        else:
+            continue
+        rows.append(
+            [
+                name,
+                spec.paper_hotspots,
+                spec.paper_nonhotspots,
+                dataset.n_hotspots,
+                dataset.n_nonhotspots,
+                spec.rules.tech_nm,
+            ]
+        )
+    text = format_table(
+        ["Benchmark", "paper HS#", "paper NHS#", "built HS#", "built NHS#",
+         "Tech(nm)"],
+        rows,
+    )
+    return rows, text
+
+
+def load_dataset_16_1():
+    """ICCAD16-1 at full scale (63 clips, zero hotspots)."""
+    from ..data.benchmarks import build_benchmark
+
+    return build_benchmark("iccad16-1", scale=1.0, seed=0)
+
+
+def table2(
+    methods=TABLE2_METHODS, benchmarks=EVAL_BENCHMARKS, seeds: int | None = None
+) -> tuple[dict, str]:
+    """Table II: Acc%/Litho# per method per benchmark + Average/Ratio."""
+    seeds = seeds if seeds is not None else bench_seeds()
+    results: dict[str, dict[str, tuple[float, float]]] = {m: {} for m in methods}
+    for name in benchmarks:
+        dataset = load_dataset(name)
+        for method in methods:
+            acc, litho, _ = run_method_averaged(
+                dataset, method, name, seeds=seeds
+            )
+            results[method][name] = (acc, litho)
+
+    # per-method averages and ratios vs "ours"
+    averages = {
+        m: (
+            float(np.mean([results[m][b][0] for b in benchmarks])),
+            float(np.mean([results[m][b][1] for b in benchmarks])),
+        )
+        for m in methods
+    }
+    ours_acc, ours_litho = averages.get("ours", averages[methods[-1]])
+
+    headers = ["Benchmark"]
+    for method in methods:
+        headers += [f"{method} Acc%", f"{method} Litho#"]
+    rows = []
+    for name in benchmarks:
+        row = [name]
+        for method in methods:
+            acc, litho = results[method][name]
+            row += [100.0 * acc, int(round(litho))]
+        rows.append(row)
+    avg_row = ["Average"]
+    ratio_row = ["Ratio"]
+    for method in methods:
+        acc, litho = averages[method]
+        avg_row += [100.0 * acc, int(round(litho))]
+        ratio_row += [
+            round(acc / ours_acc, 3) if ours_acc else 0.0,
+            round(litho / ours_litho, 3) if ours_litho else 0.0,
+        ]
+    rows.append(avg_row)
+    rows.append(ratio_row)
+    return results, format_table(headers, rows)
+
+
+def table3(
+    benchmarks=EVAL_BENCHMARKS, seeds: int | None = None
+) -> tuple[dict, str]:
+    """Table III: ablation of the entropy-based method's components."""
+    seeds = seeds if seeds is not None else bench_seeds()
+    results: dict[str, dict[str, tuple[float, float]]] = {
+        v: {} for v in TABLE3_VARIANTS
+    }
+    for name in benchmarks:
+        dataset = load_dataset(name)
+        for variant, sampling in TABLE3_VARIANTS.items():
+            accs, lithos = [], []
+            for seed in range(seeds):
+                cfg = replace(
+                    base_framework_config(name, seed),
+                    sampling=sampling,
+                    method_name=variant,
+                )
+                result = PSHDFramework(dataset, cfg).run()
+                accs.append(result.accuracy)
+                lithos.append(result.litho)
+            results[variant][name] = (
+                float(np.mean(accs)),
+                float(np.mean(lithos)),
+            )
+
+    averages = {
+        v: (
+            float(np.mean([results[v][b][0] for b in benchmarks])),
+            float(np.mean([results[v][b][1] for b in benchmarks])),
+        )
+        for v in TABLE3_VARIANTS
+    }
+    full_acc, full_litho = averages["Full"]
+
+    headers = ["Benchmark"]
+    for variant in TABLE3_VARIANTS:
+        headers += [f"{variant} Acc%", f"{variant} Litho#"]
+    rows = []
+    for name in benchmarks:
+        row = [name]
+        for variant in TABLE3_VARIANTS:
+            acc, litho = results[variant][name]
+            row += [100.0 * acc, int(round(litho))]
+        rows.append(row)
+    avg_row = ["Average"]
+    ratio_row = ["Ratio"]
+    for variant in TABLE3_VARIANTS:
+        acc, litho = averages[variant]
+        avg_row += [100.0 * acc, int(round(litho))]
+        ratio_row += [
+            round(acc / full_acc, 3) if full_acc else 0.0,
+            round(litho / full_litho, 3) if full_litho else 0.0,
+        ]
+    rows.append(avg_row)
+    rows.append(ratio_row)
+    return results, format_table(headers, rows)

@@ -1,0 +1,21 @@
+"""Calibration substrate (S7): temperature scaling (Eq. (5)) and
+reliability diagnostics (Fig. 2)."""
+
+from .reliability import (
+    ReliabilityDiagram,
+    expected_calibration_error,
+    max_calibration_error,
+    reliability_diagram,
+)
+from .temperature import TemperatureScaler, fit_temperature, nll, scaled_softmax
+
+__all__ = [
+    "scaled_softmax",
+    "nll",
+    "fit_temperature",
+    "TemperatureScaler",
+    "ReliabilityDiagram",
+    "reliability_diagram",
+    "expected_calibration_error",
+    "max_calibration_error",
+]

@@ -1,0 +1,116 @@
+"""Reliability diagrams and calibration-error metrics (Fig. 2).
+
+The paper visualizes calibration by binning predictions into 10
+equally-spaced confidence bins and comparing each bin's average
+confidence with its empirical accuracy; the blue "gap" bars of Fig. 2
+are exactly ``|confidence - accuracy|`` per bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ReliabilityDiagram",
+    "reliability_diagram",
+    "expected_calibration_error",
+    "max_calibration_error",
+]
+
+
+@dataclass
+class ReliabilityDiagram:
+    """Binned calibration data.
+
+    All arrays have ``n_bins`` entries; empty bins hold NaN accuracy /
+    confidence and zero count.
+    """
+
+    bin_edges: np.ndarray      # (n_bins + 1,)
+    confidence: np.ndarray     # mean max-probability per bin
+    accuracy: np.ndarray       # empirical accuracy per bin
+    count: np.ndarray          # samples per bin
+    ece: float                 # expected calibration error
+    mce: float                 # maximum calibration error
+
+    @property
+    def gap(self) -> np.ndarray:
+        """Per-bin |confidence - accuracy| (the blue bars of Fig. 2)."""
+        return np.abs(self.confidence - self.accuracy)
+
+    def to_rows(self) -> list[tuple[float, float, float, int]]:
+        """(bin_center, confidence, accuracy, count) rows for reports."""
+        centers = (self.bin_edges[:-1] + self.bin_edges[1:]) / 2
+        return [
+            (float(c), float(conf), float(acc), int(n))
+            for c, conf, acc, n in zip(
+                centers, self.confidence, self.accuracy, self.count
+            )
+        ]
+
+
+def _validate(probs: np.ndarray, labels: np.ndarray, n_bins: int) -> None:
+    if probs.ndim != 2:
+        raise ValueError(f"expected (N, C) probabilities, got {probs.shape}")
+    if len(probs) != len(labels):
+        raise ValueError("probs and labels lengths differ")
+    if len(probs) == 0:
+        raise ValueError("empty inputs")
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+
+
+def reliability_diagram(
+    probs: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> ReliabilityDiagram:
+    """Bin predictions by confidence and measure per-bin accuracy."""
+    probs = np.asarray(probs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    _validate(probs, labels, n_bins)
+
+    confidence = probs.max(axis=1)
+    correct = (probs.argmax(axis=1) == labels).astype(np.float64)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    # np.digitize puts conf==1.0 into the last bin via right-open clamp
+    bins = np.clip(np.digitize(confidence, edges[1:-1]), 0, n_bins - 1)
+
+    bin_conf = np.full(n_bins, np.nan)
+    bin_acc = np.full(n_bins, np.nan)
+    bin_count = np.zeros(n_bins, dtype=np.int64)
+    for b in range(n_bins):
+        members = bins == b
+        bin_count[b] = members.sum()
+        if bin_count[b]:
+            bin_conf[b] = confidence[members].mean()
+            bin_acc[b] = correct[members].mean()
+
+    weights = bin_count / bin_count.sum()
+    gaps = np.abs(np.nan_to_num(bin_conf) - np.nan_to_num(bin_acc))
+    ece = float((weights * gaps).sum())
+    occupied = bin_count > 0
+    mce = float(gaps[occupied].max()) if occupied.any() else 0.0
+
+    return ReliabilityDiagram(
+        bin_edges=edges,
+        confidence=bin_conf,
+        accuracy=bin_acc,
+        count=bin_count,
+        ece=ece,
+        mce=mce,
+    )
+
+
+def expected_calibration_error(
+    probs: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean |confidence - accuracy| over bins."""
+    return reliability_diagram(probs, labels, n_bins).ece
+
+
+def max_calibration_error(
+    probs: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> float:
+    """MCE: worst-bin |confidence - accuracy|."""
+    return reliability_diagram(probs, labels, n_bins).mce

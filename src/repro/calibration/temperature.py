@@ -1,0 +1,80 @@
+"""Temperature scaling (Guo et al., ICML 2017) — Eq. (5) of the paper.
+
+A single scalar ``T > 0`` divides the logits before the softmax.  ``T`` is
+chosen to minimize the negative log likelihood (cross-entropy) on a
+held-out validation set (Algorithm 2, line 8).  Scaling never changes the
+argmax, so predictions are untouched — only the confidence estimates move
+toward the true correctness likelihood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from ..nn.losses import log_softmax, softmax
+
+__all__ = ["scaled_softmax", "nll", "fit_temperature", "TemperatureScaler"]
+
+
+def scaled_softmax(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Temperature-scaled softmax ``sigma(z / T)`` (Eq. (5))."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return softmax(np.asarray(logits, dtype=np.float64) / temperature)
+
+
+def nll(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
+    """Mean negative log likelihood at the given temperature."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    labels = np.asarray(labels, dtype=np.int64)
+    log_p = log_softmax(np.asarray(logits, dtype=np.float64) / temperature)
+    return float(-log_p[np.arange(len(labels)), labels].mean())
+
+
+def fit_temperature(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    bounds: tuple[float, float] = (0.05, 20.0),
+) -> float:
+    """Optimal temperature by NLL minimization on validation data.
+
+    Uses bounded scalar minimization in log-space (the NLL is smooth and
+    unimodal in ``log T`` for fixed logits).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got {logits.shape}")
+    if len(logits) != len(labels):
+        raise ValueError("logits and labels lengths differ")
+    if len(logits) == 0:
+        raise ValueError("cannot fit temperature on empty validation set")
+
+    result = minimize_scalar(
+        lambda log_t: nll(logits, labels, float(np.exp(log_t))),
+        bounds=(np.log(bounds[0]), np.log(bounds[1])),
+        method="bounded",
+    )
+    return float(np.exp(result.x))
+
+
+class TemperatureScaler:
+    """Stateful wrapper: fit on validation logits, transform any logits."""
+
+    def __init__(self) -> None:
+        self.temperature_: float | None = None
+
+    def fit(self, logits: np.ndarray, labels: np.ndarray) -> "TemperatureScaler":
+        self.temperature_ = fit_temperature(logits, labels)
+        return self
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities for ``logits``."""
+        if self.temperature_ is None:
+            raise RuntimeError("TemperatureScaler is not fitted")
+        return scaled_softmax(logits, self.temperature_)
+
+    def fit_transform(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return self.fit(logits, labels).transform(logits)

@@ -1,0 +1,328 @@
+"""CLI entry points.
+
+``repro-detect`` runs the whole PSHD flow on a user-supplied GLP layout:
+clip extraction, feature encoding, litho-in-the-loop active sampling,
+full-chip scan, and a report of detected hotspot locations.
+
+``repro-benchmark`` builds the ICCAD-style benchmark datasets (warming
+the on-disk cache) and prints Table-I statistics.
+
+``repro-report`` regenerates the paper's tables/figures without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = [
+    "main",
+    "detect_main",
+    "benchmark_main",
+    "report_main",
+    "convert_main",
+]
+
+
+# ----------------------------------------------------------------------
+# repro-detect
+# ----------------------------------------------------------------------
+
+def build_detect_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-detect",
+        description="Active-learning hotspot detection on a GLP layout.",
+    )
+    parser.add_argument("layout",
+                        help="path to a layout file (.glp text or .gds)")
+    parser.add_argument("--tech", type=int, default=None,
+                        help="technology node in nm for GDS input "
+                             "(GLP carries its own)")
+    parser.add_argument("--clip-size", type=int, default=None,
+                        help="clip window size in nm (default: per tech)")
+    parser.add_argument("--core-margin", type=int, default=None,
+                        help="core-region margin in nm (default: per tech)")
+    parser.add_argument("--grid", type=int, default=96,
+                        help="raster resolution in pixels (default 96)")
+    parser.add_argument("--iterations", type=int, default=6,
+                        help="active-learning iterations (default 6)")
+    parser.add_argument("--batch", type=int, default=15,
+                        help="clips labeled per iteration (default 15)")
+    parser.add_argument("--query", type=int, default=120,
+                        help="query-set size per iteration (default 120)")
+    parser.add_argument("--init-train", type=int, default=30,
+                        help="initial training-set size (default 30)")
+    parser.add_argument("--val-size", type=int, default=24,
+                        help="validation-set size (default 24)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--arch", choices=("mlp", "cnn"), default="mlp")
+    parser.add_argument("--report", default=None,
+                        help="write detected hotspot windows to this file")
+    parser.add_argument("--svg", default=None,
+                        help="render a detection-overview SVG to this file")
+    return parser
+
+
+def detect_main(argv=None) -> int:
+    args = build_detect_parser().parse_args(argv)
+
+    from ..data.dataset import ClipDataset
+    from ..core.framework import FrameworkConfig, PSHDFramework
+    from ..data.synth import DUV_RULES, EUV_RULES
+    from ..features.pipeline import FeatureExtractor
+    from ..layout.clip import extract_clip_grid
+    from ..layout.gds import load_gds
+    from ..layout.glp import load_layout
+    from ..litho.simulator import LithoSimulator
+
+    try:
+        if str(args.layout).lower().endswith((".gds", ".gdsii")):
+            layout = load_gds(args.layout, tech_nm=args.tech or 28)
+        else:
+            layout = load_layout(args.layout)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.tech is not None:
+        layout.tech_nm = args.tech
+
+    rules = EUV_RULES if layout.tech_nm <= 10 else DUV_RULES
+    clip_size = args.clip_size or rules.clip_size
+    core_margin = args.core_margin or rules.core_margin
+
+    print(f"layout {layout.name}: {len(layout)} shapes, "
+          f"tech {layout.tech_nm} nm")
+    clips = extract_clip_grid(layout, clip_size, core_margin,
+                              drop_empty=False)
+    if len(clips) < args.init_train + args.val_size + args.batch:
+        print(
+            f"error: only {len(clips)} clips; need at least "
+            f"{args.init_train + args.val_size + args.batch} "
+            "(reduce --init-train/--val-size/--batch)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"extracted {len(clips)} clips of {clip_size} nm")
+
+    simulator = LithoSimulator.for_tech(layout.tech_nm, grid=args.grid)
+    print("labeling ground truth via lithography simulation "
+          "(reference only; the flow is charged per queried clip)...")
+    labels = np.array([simulator.is_hotspot(c) for c in clips],
+                      dtype=np.int64)
+
+    extractor = FeatureExtractor(grid=args.grid)
+    dataset = ClipDataset(
+        name=layout.name,
+        tech_nm=layout.tech_nm,
+        clips=clips,
+        labels=labels,
+        tensors=extractor.encode_batch(clips),
+        flats=extractor.flat_batch(clips),
+        meta={"density_cells": extractor.density_cells,
+              "hashes": np.array([c.geometry_hash() for c in clips]),
+              "core_hashes": np.array(
+                  [c.core_geometry_hash() for c in clips]),
+              "geometry_available": True},
+    )
+    print(f"ground truth: {dataset.n_hotspots} hotspot clips "
+          f"({dataset.hotspot_ratio:.1%})")
+
+    config = FrameworkConfig(
+        n_query=args.query,
+        k_batch=args.batch,
+        n_iterations=args.iterations,
+        init_train=args.init_train,
+        val_size=args.val_size,
+        arch=args.arch,
+        seed=args.seed,
+    )
+    result = PSHDFramework(dataset, config).run()
+
+    print(f"\ndetection accuracy (Eq. 1): {100 * result.accuracy:.2f}%")
+    print(f"litho-clips (Eq. 2):        {result.litho} "
+          f"of {len(dataset)} clips")
+    print(f"hits / false alarms:        {result.hits} / "
+          f"{result.false_alarms}")
+    print(f"modelled runtime:           {result.runtime_seconds:.0f} s")
+
+    if args.report:
+        lines = ["# detected hotspot clip windows (x0 y0 x1 y1)"]
+        labeled_arr = result.labeled if result.labeled is not None else []
+        labeled = set(int(i) for i in labeled_arr)
+        for i, clip in enumerate(dataset.clips):
+            if dataset.labels[i] == 1 and i in labeled:
+                lines.append("%d %d %d %d  # labeled" % clip.window.as_tuple())
+        with open(args.report, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"report written to {args.report}")
+
+    if args.svg:
+        from ..viz.svg import render_detection_svg
+
+        labeled_arr = result.labeled if result.labeled is not None else []
+        render_detection_svg(dataset, labeled_arr, args.svg)
+        print(f"detection overview written to {args.svg}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro-benchmark
+# ----------------------------------------------------------------------
+
+def build_benchmark_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-benchmark",
+        description="Build ICCAD-style benchmark datasets (cached).",
+    )
+    parser.add_argument("names", nargs="*", default=None,
+                        help="benchmark names (default: all)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the bench-standard dataset scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="force a fresh build")
+    return parser
+
+
+def benchmark_main(argv=None) -> int:
+    args = build_benchmark_parser().parse_args(argv)
+
+    from ..bench.harness import BENCH_SETTINGS
+    from ..data.benchmarks import benchmark_names, build_benchmark
+
+    names = args.names or benchmark_names()
+    known = set(benchmark_names())
+    for name in names:
+        if name not in known:
+            print(f"error: unknown benchmark {name!r}; known: "
+                  f"{sorted(known)}", file=sys.stderr)
+            return 2
+
+    for name in names:
+        if args.scale is not None:
+            scale = args.scale
+        elif name in BENCH_SETTINGS:
+            scale = BENCH_SETTINGS[name].scale
+        else:
+            scale = 1.0
+        dataset = build_benchmark(
+            name, scale=scale, seed=args.seed, use_cache=not args.no_cache
+        )
+        print(f"{dataset.summary()}  (n={len(dataset)}, scale={scale:g})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro-report
+# ----------------------------------------------------------------------
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifacts", nargs="+",
+        choices=("table1", "table2", "table3", "fig2", "fig3", "fig4",
+                 "fig5", "fig6a", "fig6b"),
+        help="which artifacts to regenerate",
+    )
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="seeds to average over (default env/2)")
+    return parser
+
+
+def report_main(argv=None) -> int:
+    args = build_report_parser().parse_args(argv)
+
+    from .. import bench
+
+    generators = {
+        "table1": lambda: bench.table1()[1],
+        "table2": lambda: bench.table2(seeds=args.seeds)[1],
+        "table3": lambda: bench.table3(seeds=args.seeds)[1],
+        "fig2": lambda: bench.fig2_reliability()[1],
+        "fig3": lambda: bench.fig3_diversity()[1],
+        "fig4": lambda: bench.fig4_tradeoff()[1],
+        "fig5": lambda: bench.fig5_layout()[1],
+        "fig6a": lambda: bench.fig6a_weights()[1],
+        "fig6b": lambda: bench.fig6b_runtime()[1],
+    }
+    for artifact in args.artifacts:
+        text = generators[artifact]()
+        bench.write_report(artifact, text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro-convert
+# ----------------------------------------------------------------------
+
+def build_convert_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-convert",
+        description="Convert layouts between GLP text and GDSII binary.",
+    )
+    parser.add_argument("source", help="input layout (.glp or .gds)")
+    parser.add_argument("target", help="output layout (.glp or .gds)")
+    parser.add_argument("--tech", type=int, default=28,
+                        help="technology nm for GDS input (default 28)")
+    return parser
+
+
+def convert_main(argv=None) -> int:
+    args = build_convert_parser().parse_args(argv)
+
+    from ..layout.gds import load_gds, save_gds
+    from ..layout.glp import load_layout, save_layout
+
+    def is_gds(name: str) -> bool:
+        return name.lower().endswith((".gds", ".gdsii"))
+
+    try:
+        if is_gds(args.source):
+            layout = load_gds(args.source, tech_nm=args.tech)
+        else:
+            layout = load_layout(args.source)
+        if is_gds(args.target):
+            save_gds(layout, args.target)
+        else:
+            save_layout(layout, args.target)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{args.source} -> {args.target}: {len(layout)} shapes")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# umbrella entry point
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    """Umbrella dispatcher: ``repro <detect|benchmark|report> ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: repro <detect|benchmark|report|convert> [options]\n"
+              "  detect     run PSHD on a layout (.glp/.gds)\n"
+              "  benchmark  build ICCAD-style datasets\n"
+              "  report     regenerate the paper's tables/figures\n"
+              "  convert    convert between GLP and GDSII")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "detect":
+        return detect_main(rest)
+    if command == "benchmark":
+        return benchmark_main(rest)
+    if command == "report":
+        return report_main(rest)
+    if command == "convert":
+        return convert_main(rest)
+    print(f"error: unknown command {command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

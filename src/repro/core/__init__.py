@@ -1,0 +1,55 @@
+"""The paper's contribution (S9): calibrated hotspot-aware uncertainty,
+min-distance diversity, entropy weighting, EntropySampling (Alg. 1),
+the PSHD framework (Alg. 2) and the PSHD metrics (Eqs. (1)-(2))."""
+
+from .critic_weighting import critic_weights
+from .diversity import diversity_matrix, diversity_scores
+from .entropy_weighting import entropy_weights, index_entropy, minmax_normalize
+from .framework import FrameworkConfig, PSHDFramework, SelectionContext
+from .metrics import PSHDResult, litho_overhead, overall_runtime, pshd_accuracy
+from .sampling import SamplingConfig, SamplingOutcome, entropy_sampling
+from .stopping import (
+    AnyOf,
+    HotspotYieldStall,
+    LithoBudget,
+    LoopState,
+    MaxIterations,
+    StoppingCriterion,
+    UncertaintyExhausted,
+)
+from .uncertainty import (
+    DEFAULT_DECISION_BOUNDARY,
+    bvsb_uncertainty,
+    entropy_uncertainty,
+    hotspot_aware_uncertainty,
+)
+
+__all__ = [
+    "bvsb_uncertainty",
+    "entropy_uncertainty",
+    "hotspot_aware_uncertainty",
+    "DEFAULT_DECISION_BOUNDARY",
+    "diversity_matrix",
+    "diversity_scores",
+    "minmax_normalize",
+    "index_entropy",
+    "entropy_weights",
+    "critic_weights",
+    "SamplingConfig",
+    "SamplingOutcome",
+    "entropy_sampling",
+    "pshd_accuracy",
+    "litho_overhead",
+    "overall_runtime",
+    "PSHDResult",
+    "FrameworkConfig",
+    "PSHDFramework",
+    "SelectionContext",
+    "LoopState",
+    "StoppingCriterion",
+    "MaxIterations",
+    "LithoBudget",
+    "UncertaintyExhausted",
+    "HotspotYieldStall",
+    "AnyOf",
+]

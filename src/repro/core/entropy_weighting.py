@@ -1,0 +1,86 @@
+"""The entropy weighting method (Section III-A3, Eqs. (10)-(13)).
+
+Uncertainty and diversity scores are combined linearly; the weights are
+recomputed every iteration from the *dispersion* of each indicator over
+the current query set.  An indicator whose normalized scores are nearly
+uniform has Shannon entropy close to 1 and carries almost no ranking
+information, so it receives weight close to 0; a highly discriminative
+indicator receives correspondingly more weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minmax_normalize", "index_entropy", "entropy_weights"]
+
+
+def minmax_normalize(scores: np.ndarray) -> np.ndarray:
+    """Column-wise min-max normalization (Eq. (10)).
+
+    Constant columns map to all-zeros (no information, and the entropy
+    weighting downstream assigns them zero weight).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim == 1:
+        scores = scores[:, None]
+    lo = scores.min(axis=0, keepdims=True)
+    hi = scores.max(axis=0, keepdims=True)
+    span = hi - lo
+    out = np.zeros_like(scores)
+    nonconstant = span[0] > 0
+    out[:, nonconstant] = (scores[:, nonconstant] - lo[:, nonconstant]) / span[
+        :, nonconstant
+    ]
+    return out
+
+
+def index_entropy(normalized: np.ndarray) -> np.ndarray:
+    """Per-column entropy E_j of normalized scores (Eqs. (11)-(12)).
+
+    ``q_ij = r_ij / sum_i r_ij`` and ``E_j = -b * sum q ln q`` with
+    ``b = 1 / ln n`` so E_j is in [0, 1].  A column summing to zero (all
+    scores equal) is defined to have maximal entropy 1: it cannot rank
+    anything.
+    """
+    normalized = np.asarray(normalized, dtype=np.float64)
+    if normalized.ndim != 2:
+        raise ValueError(f"expected (N, M) scores, got {normalized.shape}")
+    n, m = normalized.shape
+    if n < 2:
+        # a single sample carries no dispersion information
+        return np.ones(m)
+    b = 1.0 / np.log(n)
+    entropies = np.empty(m)
+    for j in range(m):
+        total = normalized[:, j].sum()
+        if total <= 0:
+            entropies[j] = 1.0
+            continue
+        q = normalized[:, j] / total
+        nonzero = q > 0
+        entropies[j] = float(-b * (q[nonzero] * np.log(q[nonzero])).sum())
+    return np.clip(entropies, 0.0, 1.0)
+
+
+def entropy_weights(scores: np.ndarray) -> np.ndarray:
+    """Dynamic indicator weights ``w_j`` (Eq. (13)).
+
+    ``scores`` is ``(n_samples, n_indicators)`` of raw (un-normalized)
+    indicator values.  Returns non-negative weights summing to 1.  When
+    every indicator is uninformative (all E_j = 1) the weights fall back
+    to uniform.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected (N, M) scores, got {scores.shape}")
+    m = scores.shape[1]
+    if m == 0:
+        raise ValueError("need at least one indicator")
+    normalized = minmax_normalize(scores)
+    entropies = index_entropy(normalized)
+    information = 1.0 - entropies
+    total = information.sum()
+    if total <= 1e-12:
+        return np.full(m, 1.0 / m)
+    return information / total

@@ -1,0 +1,395 @@
+"""The overall pattern-sampling and hotspot-detection flow (Algorithm 2).
+
+One :class:`PSHDFramework` run executes the paper's full pipeline on a
+benchmark dataset:
+
+1. Fit a GMM on (PCA-compressed) features of the whole pool; compute
+   posterior probabilities ``P`` (line 1).
+2. Split into initial training set ``L0`` (lowest posterior =
+   hotspot-like), validation set ``V0`` (posterior-stratified) and
+   unlabeled pool ``U0`` (line 2); label ``L0``/``V0`` through the
+   metered oracle; train the CNN (lines 3–5).
+3. For ``N`` iterations: form query set ``Q`` of the ``n`` lowest-
+   posterior pool samples (line 7), fit temperature ``T`` on ``V0``
+   (line 8), run the batch selector — EntropySampling by default
+   (line 9) — label the ``k`` chosen clips, move them to ``L`` and
+   fine-tune the model (lines 10–12).  Unselected query samples return
+   to the pool.
+4. Full-chip detection on the remaining pool with the calibrated model;
+   score with Eqs. (1)–(2).
+
+Baselines (TS, QP, random) plug in through the ``selector`` hook, which
+receives the same calibrated probabilities and embeddings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..calibration.temperature import TemperatureScaler
+from ..data.dataset import ClipDataset, DatasetLabeler
+from ..model.classifier import HotspotClassifier
+from ..nn.losses import softmax
+from ..stats.gmm import GaussianMixture
+from ..stats.pca import PCA
+from .metrics import PSHDResult, litho_overhead, pshd_accuracy
+from .sampling import SamplingConfig, entropy_sampling
+from .stopping import LoopState, StoppingCriterion
+from .uncertainty import hotspot_aware_uncertainty
+
+__all__ = ["FrameworkConfig", "PSHDFramework", "Selector", "SelectionContext"]
+
+
+@dataclass
+class SelectionContext:
+    """Everything a batch selector may consult (line 9 of Alg. 2).
+
+    ``calibrated_probs`` are temperature-scaled (Eq. (5)); ``raw_probs``
+    are the plain softmax output (Eq. (4)) — the QP baseline of [14] uses
+    the latter, which is exactly the calibration gap the paper fixes.
+    """
+
+    calibrated_probs: np.ndarray
+    raw_probs: np.ndarray
+    embeddings: np.ndarray
+    k: int
+    rng: np.random.Generator
+
+
+#: selector signature: SelectionContext -> indices into the query set
+Selector = Callable[[SelectionContext], np.ndarray]
+
+
+@dataclass
+class FrameworkConfig:
+    """Hyperparameters of Algorithm 2.
+
+    ``n_query``/``k_batch`` are the two-step batch sizes ``n`` and ``k``;
+    ``n_iterations`` is ``N``.  ``sampling`` configures Algorithm 1 (the
+    Table III ablations); ``selector`` overrides the batch selector
+    entirely for baseline methods.
+    """
+
+    n_query: int = 120
+    k_batch: int = 20
+    n_iterations: int = 8
+    init_train: int = 40
+    val_size: int = 30
+    gmm_components: int = 8
+    pca_dim: int = 10
+    posterior_features: str = "density"
+    #: D4 orientation augmentation (DCT-domain) during training — helps
+    #: most when labeled sets are small (see repro.features.augment)
+    augment: bool = False
+    epochs_initial: int = 20
+    epochs_update: int = 6
+    arch: str = "cnn"
+    lr: float = 1e-3
+    seed: int = 0
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    selector: Selector | None = None
+    method_name: str = "ours"
+    #: discard unselected query samples each iteration, as the QP flow of
+    #: [14] does (the paper keeps them — its second critique of [14])
+    discard_query_rest: bool = False
+    #: temperature scaling on/off (design-choice D5): with False, the
+    #: raw softmax of Eq. (4) feeds sampling and detection directly
+    calibrate: bool = True
+    #: optional early-termination predicate evaluated each iteration
+    #: (see repro.core.stopping); n_iterations remains the hard ceiling
+    stop_when: StoppingCriterion | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("n_query", "k_batch", "n_iterations", "init_train",
+                     "val_size", "gmm_components", "pca_dim"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.posterior_features not in ("density", "flat"):
+            raise ValueError(
+                "posterior_features must be 'density' or 'flat', got "
+                f"{self.posterior_features!r}"
+            )
+
+
+class PSHDFramework:
+    """Executable Algorithm 2 over a :class:`ClipDataset`."""
+
+    def __init__(
+        self,
+        dataset: ClipDataset,
+        config: FrameworkConfig | None = None,
+        classifier: HotspotClassifier | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config if config is not None else FrameworkConfig()
+        if len(dataset) < self.config.init_train + self.config.val_size + 1:
+            raise ValueError(
+                f"dataset of {len(dataset)} clips too small for "
+                f"init_train={self.config.init_train} + "
+                f"val_size={self.config.val_size}"
+            )
+        if classifier is None:
+            classifier = HotspotClassifier(
+                input_shape=dataset.tensors.shape[1:],
+                arch=self.config.arch,
+                lr=self.config.lr,
+                seed=self.config.seed,
+                augment=self.config.augment,
+            )
+        self.classifier = classifier
+        self.labeler = DatasetLabeler(dataset)
+
+    # ------------------------------------------------------------------
+    def _density_core_features(self) -> np.ndarray:
+        """Density-grid cells that lie inside the core region.
+
+        Margin context varies per clip placement and drowns the pattern
+        signature, so the posterior model looks only at the cells the
+        clip owns.
+        """
+        dataset = self.dataset
+        cells = int(dataset.meta.get("density_cells", 8))
+        density = dataset.flats[:, -cells * cells :].reshape(-1, cells, cells)
+        clip = dataset.clips[0]
+        width, _ = clip.size
+        core = clip.core_local()
+        c0 = int(np.floor(core.x0 / width * cells))
+        c1 = int(np.ceil(core.x1 / width * cells))
+        if c1 <= c0:
+            c0, c1 = 0, cells
+        return density[:, c0:c1, c0:c1].reshape(len(dataset), -1)
+
+    def _fit_posterior(self) -> np.ndarray:
+        """Line 1: GMM posterior of every clip (low = hotspot-like).
+
+        By default the mixture is fitted on the core-region cells of the
+        density signature, which expose the low-coverage fingerprint of
+        near-critical geometry far more directly than the full DCT
+        spectrum (margin context is placement noise); set
+        ``posterior_features='flat'`` to use the full feature vector.
+        """
+        cfg = self.config
+        if cfg.posterior_features == "density":
+            flats = self._density_core_features()
+        else:
+            flats = self.dataset.flats
+        pca = PCA(min(cfg.pca_dim, flats.shape[1]))
+        compressed = pca.fit_transform(flats)
+        components = min(cfg.gmm_components, max(len(flats) // 10, 1))
+        gmm = GaussianMixture(n_components=components, seed=cfg.seed)
+        gmm.fit(compressed)
+        return gmm.posterior(compressed)
+
+    def _split(
+        self, posterior: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Line 2: (train, validation, pool) index split.
+
+        The training seed takes the lowest-posterior (hotspot-like)
+        clips for half its budget and spreads the other half evenly
+        across the posterior ranking, so the initial model sees both the
+        rare tail and the frequent pattern mass — without the coverage
+        half, the model never learns the frequent clean patterns and
+        floods detection with false alarms.  Validation is likewise
+        stratified so temperature scaling sees the full confidence
+        spectrum.
+        """
+        cfg = self.config
+        order = np.argsort(posterior, kind="stable")
+        n_tail = cfg.init_train // 2
+        tail = order[:n_tail]
+        rest = order[n_tail:]
+        n_spread = cfg.init_train - n_tail
+        spread_pos = np.unique(
+            np.linspace(0, len(rest) - 1, n_spread).astype(int)
+        )
+        train = np.concatenate([tail, rest[spread_pos]])
+        remaining = np.setdiff1d(order, train, assume_unique=False)
+        # keep remaining in posterior order for the validation spread
+        remaining = remaining[np.argsort(posterior[remaining], kind="stable")]
+        val_pos = np.unique(
+            np.linspace(0, len(remaining) - 1, cfg.val_size).astype(int)
+        )
+        val = remaining[val_pos]
+        pool_mask = np.ones(len(posterior), dtype=bool)
+        pool_mask[train] = False
+        pool_mask[val] = False
+        pool = np.flatnonzero(pool_mask)
+        return train, val, pool
+
+    def _select(self, context: SelectionContext) -> tuple[np.ndarray, dict]:
+        """Line 9: batch selection (EntropySampling or baseline hook)."""
+        if self.config.selector is not None:
+            chosen = np.asarray(self.config.selector(context), dtype=np.int64)
+            return chosen, {}
+        outcome = entropy_sampling(
+            context.calibrated_probs,
+            context.embeddings,
+            context.k,
+            self.config.sampling,
+        )
+        return outcome.selected, {
+            "weights": outcome.weights.tolist(),
+            "mean_uncertainty": float(outcome.uncertainty.mean()),
+            "mean_diversity": float(outcome.diversity.mean()),
+        }
+
+    # ------------------------------------------------------------------
+    def run(self) -> PSHDResult:
+        """Execute Algorithm 2 and score the result (Eqs. (1)-(2))."""
+        cfg = self.config
+        dataset = self.dataset
+        rng = np.random.default_rng(cfg.seed)
+        started = time.perf_counter()
+
+        posterior = self._fit_posterior()
+        train_idx, val_idx, pool = self._split(posterior)
+        train_idx = list(train_idx)
+        val_idx = np.asarray(val_idx)
+        pool = list(pool)
+
+        y_train = list(self.labeler.label_many(train_idx))
+        y_val = self.labeler.label_many(val_idx)
+
+        # lines 3-5: initialize and train the learning engine
+        self.classifier.fit_scaler(dataset.tensors)
+        self.classifier.fit(
+            dataset.tensors[train_idx],
+            np.array(y_train),
+            epochs=cfg.epochs_initial,
+        )
+
+        history: list[dict] = []
+        temperature = TemperatureScaler()
+        iterations_run = 0
+        discarded: list[int] = []
+        batch_hotspot_trace: list[int] = []
+
+        for iteration in range(1, cfg.n_iterations + 1):
+            if not pool:
+                break
+
+            # line 7: query set = n lowest-posterior pool samples
+            pool_arr = np.array(pool)
+            order = np.argsort(posterior[pool_arr], kind="stable")
+            query = pool_arr[order[: cfg.n_query]]
+
+            # line 8: temperature on the validation set (identity when
+            # the D5 ablation turns calibration off)
+            if cfg.calibrate:
+                val_logits = self.classifier.predict_logits(
+                    dataset.tensors[val_idx]
+                )
+                temperature.fit(val_logits, y_val)
+            else:
+                temperature.temperature_ = 1.0
+
+            # line 9: EntropySampling over the query set
+            query_logits = self.classifier.predict_logits(dataset.tensors[query])
+            context = SelectionContext(
+                calibrated_probs=temperature.transform(query_logits),
+                raw_probs=softmax(query_logits),
+                embeddings=self.classifier.embeddings(dataset.tensors[query]),
+                k=cfg.k_batch,
+                rng=rng,
+            )
+            # optional termination condition (Alg. 2's loop guard)
+            if cfg.stop_when is not None:
+                state = LoopState(
+                    iteration=iteration,
+                    litho_used=self.labeler.query_count,
+                    pool_size=len(pool),
+                    max_uncertainty=float(
+                        hotspot_aware_uncertainty(
+                            context.calibrated_probs
+                        ).max()
+                    )
+                    if len(query)
+                    else 0.0,
+                    recent_batch_hotspots=batch_hotspot_trace,
+                )
+                if cfg.stop_when(state):
+                    break
+            iterations_run = iteration
+
+            chosen_local, diag = self._select(context)
+            batch = query[chosen_local]
+
+            # lines 10-11: label the batch, move it from U to L.  Our
+            # method returns unselected query samples to the pool; the
+            # discard_query_rest flag reproduces [14]'s behaviour of
+            # dropping the whole query set.
+            y_batch = self.labeler.label_many(batch)
+            batch_hotspot_trace.append(int(np.sum(y_batch)))
+            train_idx.extend(int(i) for i in batch)
+            y_train.extend(int(label) for label in y_batch)
+            removed = set(int(i) for i in batch)
+            if cfg.discard_query_rest:
+                rest = set(int(i) for i in query) - removed
+                discarded.extend(rest)
+                removed |= rest
+            pool = [i for i in pool if i not in removed]
+
+            # line 12: update the model on the enlarged training set
+            self.classifier.update(
+                dataset.tensors[train_idx],
+                np.array(y_train),
+                epochs=cfg.epochs_update,
+            )
+
+            history.append(
+                {
+                    "iteration": iteration,
+                    "train_size": len(train_idx),
+                    "hotspots_in_train": int(np.sum(y_train)),
+                    "temperature": float(temperature.temperature_),
+                    "batch_hotspots": int(np.sum(y_batch)),
+                    **diag,
+                }
+            )
+
+        # full-chip detection on the remaining unlabeled clips (pool plus
+        # anything a discarding baseline dropped) with the calibrated model
+        pool = pool + discarded
+        hits = 0
+        false_alarms = 0
+        if pool:
+            pool_arr = np.array(pool)
+            if cfg.calibrate:
+                val_logits = self.classifier.predict_logits(
+                    dataset.tensors[val_idx]
+                )
+                temperature.fit(val_logits, y_val)
+            else:
+                temperature.temperature_ = 1.0
+            pool_logits = self.classifier.predict_logits(dataset.tensors[pool_arr])
+            predicted_hot = temperature.transform(pool_logits)[:, 1] > 0.5
+            actual = dataset.labels[pool_arr].astype(bool)
+            hits = int(np.sum(predicted_hot & actual))
+            false_alarms = int(np.sum(predicted_hot & ~actual))
+
+        elapsed = time.perf_counter() - started
+        hs_train = int(np.sum(y_train))
+        hs_val = int(np.sum(y_val))
+        accuracy = pshd_accuracy(hs_train, hs_val, hits, dataset.n_hotspots)
+        litho = litho_overhead(len(train_idx), len(val_idx), false_alarms)
+
+        return PSHDResult(
+            benchmark=dataset.name,
+            method=cfg.method_name,
+            accuracy=accuracy,
+            litho=litho,
+            hits=hits,
+            false_alarms=false_alarms,
+            n_train=len(train_idx),
+            n_val=len(val_idx),
+            hs_total=dataset.n_hotspots,
+            iterations=iterations_run,
+            pshd_seconds=elapsed,
+            history=history,
+            labeled=self.labeler.labeled_indices,
+        )

@@ -1,0 +1,98 @@
+"""PSHD evaluation metrics (Section II, Eqs. (1)-(2)) and runtime model.
+
+* ``Acc``  = (#HS_Train + #HS_Val + #Hits) / #HS_Total        (Eq. (1))
+* ``Litho`` = #Tr + #Val + #FA                                 (Eq. (2))
+
+A *hit* is a correctly reported hotspot among the clips that stayed
+unlabeled; a *false alarm* (extra) is a clean clip reported hotspot —
+the flow must lithography-verify it, so it adds to the overhead.  Hits
+are intentionally **not** charged: verifying a real hotspot is the
+productive outcome the flow exists to buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..litho.labeler import SECONDS_PER_LITHO_CLIP
+
+__all__ = ["pshd_accuracy", "litho_overhead", "overall_runtime", "PSHDResult"]
+
+
+def pshd_accuracy(
+    hs_train: int, hs_val: int, hits: int, hs_total: int
+) -> float:
+    """Detection accuracy per Eq. (1).
+
+    Hotspots already captured into the training/validation sets count as
+    found (they were litho-verified), plus hits on the unlabeled rest.
+    A benchmark with no hotspots scores 1.0 by convention.
+    """
+    for name, value in (("hs_train", hs_train), ("hs_val", hs_val),
+                        ("hits", hits), ("hs_total", hs_total)):
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+    if hs_train + hs_val + hits > hs_total:
+        raise ValueError("found hotspots exceed total")
+    if hs_total == 0:
+        return 1.0
+    return (hs_train + hs_val + hits) / hs_total
+
+
+def litho_overhead(n_train: int, n_val: int, false_alarms: int) -> int:
+    """Lithography simulation overhead per Eq. (2)."""
+    for name, value in (("n_train", n_train), ("n_val", n_val),
+                        ("false_alarms", false_alarms)):
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+    return n_train + n_val + false_alarms
+
+
+def overall_runtime(litho_count: int, pshd_seconds: float) -> float:
+    """Runtime model of Section IV-C (Fig. 6(b)).
+
+    10 s of charged lithography per litho-clip plus the measured PSHD
+    compute overhead (training + sampling + inference).
+    """
+    if litho_count < 0:
+        raise ValueError(f"litho_count must be non-negative, got {litho_count}")
+    if pshd_seconds < 0:
+        raise ValueError(f"pshd_seconds must be non-negative, got {pshd_seconds}")
+    return SECONDS_PER_LITHO_CLIP * litho_count + pshd_seconds
+
+
+@dataclass
+class PSHDResult:
+    """Outcome of one PSHD run (any method)."""
+
+    benchmark: str
+    method: str
+    accuracy: float
+    litho: int
+    hits: int = 0
+    false_alarms: int = 0
+    n_train: int = 0
+    n_val: int = 0
+    hs_total: int = 0
+    iterations: int = 0
+    pshd_seconds: float = 0.0
+    history: list[dict] = field(default_factory=list)
+    #: indices of all litho-labeled clips (train + val), for layout maps
+    labeled: np.ndarray | None = None
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Modelled end-to-end runtime (Fig. 6(b))."""
+        return overall_runtime(self.litho, self.pshd_seconds)
+
+    def row(self) -> tuple[str, float, int]:
+        """(benchmark, Acc%, Litho#) — one cell group of Table II."""
+        return (self.benchmark, 100.0 * self.accuracy, self.litho)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.method} on {self.benchmark}: "
+            f"Acc={100 * self.accuracy:.2f}% Litho#={self.litho}"
+        )

@@ -1,0 +1,174 @@
+"""EntropySampling — Algorithm 1 of the paper.
+
+Given a query set's *calibrated* probabilities and embedding features,
+select the ``k`` samples with the highest entropy-based score
+
+    s_i = w1 * Norm(u_i) + w2 * Norm(d_i)                     (Eq. (9))
+
+where ``u`` is the hotspot-aware calibrated uncertainty (Eq. (6)), ``d``
+the min-distance diversity (Eq. (7)) and ``(w1, w2)`` the dynamic entropy
+weights (Eq. (13)).  The ablation switches of Table III are exposed as
+configuration flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .diversity import diversity_scores
+from .entropy_weighting import entropy_weights, minmax_normalize
+from .uncertainty import (
+    DEFAULT_DECISION_BOUNDARY,
+    bvsb_uncertainty,
+    entropy_uncertainty,
+    hotspot_aware_uncertainty,
+)
+
+__all__ = ["SamplingConfig", "SamplingOutcome", "entropy_sampling"]
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Switches of the entropy-based sampler.
+
+    The default configuration is the paper's full method.  Table III's
+    ablations map to:
+
+    * ``w/o.E`` — ``use_entropy_weights=False`` (fixed 50/50 weights)
+    * ``w/o.D`` — ``use_diversity=False`` (uncertainty only)
+    * ``w/o.U`` — ``use_uncertainty=False`` (diversity only)
+
+    and Fig. 6(a)'s fixed-weight sweep sets ``fixed_diversity_weight``.
+    """
+
+    h: float = DEFAULT_DECISION_BOUNDARY
+    use_uncertainty: bool = True
+    use_diversity: bool = True
+    use_entropy_weights: bool = True
+    fixed_diversity_weight: float | None = None
+    #: which uncertainty score feeds Eq. (9): the paper's hotspot-aware
+    #: score (default), plain BvSB (Eq. (3)), or prediction entropy —
+    #: the design-choice D1 ablation of DESIGN.md
+    uncertainty_metric: str = "hotspot_aware"
+    #: dynamic-weighting scheme: the paper's entropy weighting
+    #: (Eqs. (10)-(13)) or CRITIC (contrast x independence) — an
+    #: extension in the spirit of the paper's conclusion
+    weighting_method: str = "entropy"
+
+    def __post_init__(self) -> None:
+        if not (self.use_uncertainty or self.use_diversity):
+            raise ValueError("at least one of uncertainty/diversity required")
+        if self.fixed_diversity_weight is not None and not (
+            0.0 <= self.fixed_diversity_weight <= 1.0
+        ):
+            raise ValueError("fixed_diversity_weight must be in [0, 1]")
+        if self.uncertainty_metric not in ("hotspot_aware", "bvsb", "entropy"):
+            raise ValueError(
+                "uncertainty_metric must be 'hotspot_aware', 'bvsb' or "
+                f"'entropy', got {self.uncertainty_metric!r}"
+            )
+        if self.weighting_method not in ("entropy", "critic"):
+            raise ValueError(
+                "weighting_method must be 'entropy' or 'critic', got "
+                f"{self.weighting_method!r}"
+            )
+
+    def uncertainty_scores(self, probs: np.ndarray) -> np.ndarray:
+        """Uncertainty scores per the configured metric."""
+        if self.uncertainty_metric == "bvsb":
+            return bvsb_uncertainty(probs)
+        if self.uncertainty_metric == "entropy":
+            return entropy_uncertainty(probs)
+        return hotspot_aware_uncertainty(probs, h=self.h)
+
+
+@dataclass
+class SamplingOutcome:
+    """Selected indices plus per-call diagnostics."""
+
+    selected: np.ndarray                 # indices into the query set
+    scores: np.ndarray                   # entropy-based score s_i
+    uncertainty: np.ndarray              # raw u_i
+    diversity: np.ndarray                # raw d_i
+    weights: np.ndarray = field(default_factory=lambda: np.array([0.5, 0.5]))
+
+
+def entropy_sampling(
+    calibrated_probs: np.ndarray,
+    embeddings: np.ndarray,
+    k: int,
+    config: SamplingConfig | None = None,
+) -> SamplingOutcome:
+    """Algorithm 1: pick ``k`` query samples by entropy-based score.
+
+    Parameters
+    ----------
+    calibrated_probs:
+        ``(n, 2)`` temperature-scaled probabilities of the query set
+        (line 1 of Alg. 1 consumes Eq. (5) output).
+    embeddings:
+        ``(n, d)`` L2-normalized FC-layer features (line 2).
+    k:
+        Batch size; capped at the query-set size.
+    """
+    config = config if config is not None else SamplingConfig()
+    probs = np.asarray(calibrated_probs, dtype=np.float64)
+    if probs.ndim != 2 or probs.shape[1] != 2:
+        raise ValueError(f"expected (N, 2) probabilities, got {probs.shape}")
+    n = len(probs)
+    if len(embeddings) != n:
+        raise ValueError("probs and embeddings lengths differ")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, n)
+    if n == 0:
+        return SamplingOutcome(
+            selected=np.zeros(0, dtype=np.int64),
+            scores=np.zeros(0),
+            uncertainty=np.zeros(0),
+            diversity=np.zeros(0),
+        )
+
+    # line 1: calibrated uncertainty scores F (hotspot-aware by default)
+    uncertainty = config.uncertainty_scores(probs)
+    # line 2: min-distance diversity scores D
+    diversity = diversity_scores(np.asarray(embeddings, dtype=np.float64))
+
+    use_u = config.use_uncertainty
+    use_d = config.use_diversity
+    if use_u and use_d:
+        stacked = np.column_stack([uncertainty, diversity])
+        if config.fixed_diversity_weight is not None:
+            w2 = config.fixed_diversity_weight
+            weights = np.array([1.0 - w2, w2])
+        elif config.use_entropy_weights:
+            # line 3: dynamic weights (entropy weighting by default)
+            if config.weighting_method == "critic":
+                from .critic_weighting import critic_weights
+
+                weights = critic_weights(stacked)
+            else:
+                weights = entropy_weights(stacked)
+        else:
+            weights = np.array([0.5, 0.5])
+        normalized = minmax_normalize(stacked)
+        # line 4: S = w1 * Norm(F) + w2 * Norm(D)
+        scores = normalized @ weights
+    elif use_u:
+        weights = np.array([1.0, 0.0])
+        scores = minmax_normalize(uncertainty)[:, 0]
+    else:
+        weights = np.array([0.0, 1.0])
+        scores = minmax_normalize(diversity)[:, 0]
+
+    # line 5: the k highest entropy-based scores (stable for ties)
+    selected = np.argsort(-scores, kind="stable")[:k]
+    return SamplingOutcome(
+        selected=selected.astype(np.int64),
+        scores=scores,
+        uncertainty=uncertainty,
+        diversity=diversity,
+        weights=weights,
+    )

@@ -1,0 +1,123 @@
+"""Stopping criteria for the active-learning loop.
+
+Algorithm 2 runs "until the termination condition is satisfied" without
+pinning that condition down.  This module supplies the standard choices
+as composable predicates; :class:`~repro.core.framework.FrameworkConfig`
+takes one through its ``stop_when`` field (the default reproduces the
+fixed-N behaviour of the experiments).
+
+A criterion is called once per iteration *before* sampling with a
+:class:`LoopState` snapshot and returns True to stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LoopState",
+    "StoppingCriterion",
+    "MaxIterations",
+    "LithoBudget",
+    "UncertaintyExhausted",
+    "HotspotYieldStall",
+    "AnyOf",
+]
+
+
+@dataclass
+class LoopState:
+    """Snapshot handed to stopping criteria at the top of an iteration."""
+
+    iteration: int                  # 1-based index of the upcoming iteration
+    litho_used: int                 # labels charged so far
+    pool_size: int                  # unlabeled clips remaining
+    max_uncertainty: float          # highest calibrated uncertainty in pool
+    recent_batch_hotspots: list     # hotspots found by the last batches
+
+
+class StoppingCriterion:
+    """Base: never stops."""
+
+    def should_stop(self, state: LoopState) -> bool:
+        del state
+        return False
+
+    def __call__(self, state: LoopState) -> bool:
+        return self.should_stop(state)
+
+
+@dataclass
+class MaxIterations(StoppingCriterion):
+    """Stop after ``n`` completed iterations (the paper's fixed N)."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+
+    def should_stop(self, state: LoopState) -> bool:
+        return state.iteration > self.n
+
+
+@dataclass
+class LithoBudget(StoppingCriterion):
+    """Stop once the litho-clip spend reaches ``budget``."""
+
+    budget: int
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+
+    def should_stop(self, state: LoopState) -> bool:
+        return state.litho_used >= self.budget
+
+
+@dataclass
+class UncertaintyExhausted(StoppingCriterion):
+    """Stop when no pool sample is meaningfully uncertain any more.
+
+    ``threshold`` is on the hotspot-aware score of Eq. (6): once the
+    most uncertain candidate scores below it, further labeling buys
+    little information.
+    """
+
+    threshold: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1), got {self.threshold}"
+            )
+
+    def should_stop(self, state: LoopState) -> bool:
+        return state.max_uncertainty < self.threshold
+
+
+@dataclass
+class HotspotYieldStall(StoppingCriterion):
+    """Stop after ``window`` consecutive batches found no hotspots."""
+
+    window: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+
+    def should_stop(self, state: LoopState) -> bool:
+        recent = state.recent_batch_hotspots[-self.window :]
+        return len(recent) >= self.window and sum(recent) == 0
+
+
+class AnyOf(StoppingCriterion):
+    """Stop when any member criterion fires."""
+
+    def __init__(self, *criteria: StoppingCriterion) -> None:
+        if not criteria:
+            raise ValueError("AnyOf requires at least one criterion")
+        self.criteria = criteria
+
+    def should_stop(self, state: LoopState) -> bool:
+        return any(c.should_stop(state) for c in self.criteria)

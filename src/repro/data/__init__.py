@@ -1,0 +1,26 @@
+"""Benchmark substrate (S4): synthetic layout generation, dataset
+containers, the metered labeling oracle, and ICCAD'12/'16-style
+benchmark builders."""
+
+from .benchmarks import BENCHMARKS, BenchmarkSpec, benchmark_names, build_benchmark
+from .dataset import ClipDataset, DatasetLabeler
+from .imbalance import class_ratio, oversample_minority
+from .splits import stratified_kfold, stratified_split
+from .synth import DUV_RULES, EUV_RULES, TechRules, generate_layout
+
+__all__ = [
+    "TechRules",
+    "DUV_RULES",
+    "EUV_RULES",
+    "generate_layout",
+    "ClipDataset",
+    "DatasetLabeler",
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "benchmark_names",
+    "build_benchmark",
+    "stratified_split",
+    "stratified_kfold",
+    "class_ratio",
+    "oversample_minority",
+]

@@ -1,0 +1,133 @@
+"""Dataset containers and counting labelers.
+
+A :class:`ClipDataset` bundles the clips of one benchmark with their
+feature tensors and ground-truth labels.  Ground truth exists because the
+whole benchmark was litho-simulated once at build time — exactly how the
+contest organizers produced the reference labels — but *experiments may
+not read it directly*: the active-learning flow must pay for every label
+through a :class:`DatasetLabeler`, which meters litho-clip cost
+(Definition 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..layout.clip import Clip
+
+__all__ = ["ClipDataset", "DatasetLabeler"]
+
+
+@dataclass
+class ClipDataset:
+    """Clips + features + ground truth of one benchmark case.
+
+    Attributes
+    ----------
+    name / tech_nm:
+        Benchmark identity.
+    clips:
+        The layout clips, in stable index order.
+    labels:
+        Ground-truth hotspot labels (1 = hotspot), used for evaluation
+        and as the backing store of the metered labeler.
+    tensors:
+        DCT feature tensors, shape ``(N, C, H, W)``.
+    flats:
+        Flat feature vectors for distribution modelling, shape ``(N, D)``.
+    """
+
+    name: str
+    tech_nm: int
+    clips: list[Clip]
+    labels: np.ndarray
+    tensors: np.ndarray
+    flats: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.clips)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.labels.shape != (n,):
+            raise ValueError(
+                f"labels shape {self.labels.shape} != clip count {n}"
+            )
+        if self.tensors.shape[0] != n or self.flats.shape[0] != n:
+            raise ValueError("feature arrays do not match clip count")
+        if n and not set(np.unique(self.labels)) <= {0, 1}:
+            raise ValueError("labels must be binary 0/1")
+
+    def __len__(self) -> int:
+        return len(self.clips)
+
+    @property
+    def n_hotspots(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def n_nonhotspots(self) -> int:
+        return int(len(self) - self.labels.sum())
+
+    @property
+    def hotspot_ratio(self) -> float:
+        return self.n_hotspots / len(self) if len(self) else 0.0
+
+    def subset(self, indices) -> "ClipDataset":
+        """A new dataset restricted to ``indices`` (order preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ClipDataset(
+            name=self.name,
+            tech_nm=self.tech_nm,
+            clips=[self.clips[i] for i in indices],
+            labels=self.labels[indices],
+            tensors=self.tensors[indices],
+            flats=self.flats[indices],
+            meta=dict(self.meta),
+        )
+
+    def summary(self) -> str:
+        """One-line Table-I style description."""
+        return (
+            f"{self.name}: HS#={self.n_hotspots} NHS#={self.n_nonhotspots} "
+            f"Tech={self.tech_nm}nm"
+        )
+
+
+class DatasetLabeler:
+    """Metered index-based labeling oracle over a :class:`ClipDataset`.
+
+    Mirrors :class:`repro.litho.LithoLabeler` but reads the dataset's
+    stored simulation results instead of re-running optics, so large
+    experiments stay fast while the litho-clip accounting is identical:
+    each *distinct* index queried charges one litho-clip.
+    """
+
+    def __init__(self, dataset: ClipDataset) -> None:
+        self.dataset = dataset
+        self._seen: set[int] = set()
+        self.query_count = 0
+
+    def label(self, index: int) -> int:
+        index = int(index)
+        if not 0 <= index < len(self.dataset):
+            raise IndexError(f"clip index {index} out of range")
+        if index not in self._seen:
+            self._seen.add(index)
+            self.query_count += 1
+        return int(self.dataset.labels[index])
+
+    def label_many(self, indices) -> np.ndarray:
+        return np.array([self.label(i) for i in indices], dtype=np.int64)
+
+    def is_labeled(self, index: int) -> bool:
+        return int(index) in self._seen
+
+    @property
+    def labeled_indices(self) -> np.ndarray:
+        return np.array(sorted(self._seen), dtype=np.int64)
+
+    def reset(self) -> None:
+        self._seen.clear()
+        self.query_count = 0

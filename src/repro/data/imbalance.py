@@ -1,0 +1,77 @@
+"""Class-imbalance utilities.
+
+Hotspot data is extremely imbalanced (Table I: down to 2 % positives).
+Besides loss re-weighting (built into the classifier), the standard
+remedy from the hotspot-CNN literature (Yang et al., "imbalance aware")
+is minority oversampling with orientation augmentation, provided here
+as array-level utilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features.augment import TENSOR_ORIENTATIONS, augment_tensor
+
+__all__ = ["oversample_minority", "class_ratio"]
+
+
+def class_ratio(labels: np.ndarray) -> float:
+    """Fraction of positive (hotspot) labels."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        raise ValueError("empty labels")
+    return float((labels == 1).mean())
+
+
+def oversample_minority(
+    tensors: np.ndarray,
+    labels: np.ndarray,
+    target_ratio: float = 0.5,
+    seed: int = 0,
+    augment: bool = True,
+    block_size: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replicate minority samples until they reach ``target_ratio``.
+
+    With ``augment=True`` each replica gets a random D4 orientation (in
+    the DCT domain), so replicas are informative variants rather than
+    exact copies.  A dataset already at or above the target is returned
+    unchanged.
+    """
+    tensors = np.asarray(tensors)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(tensors) != len(labels):
+        raise ValueError("tensors and labels lengths differ")
+    if not 0.0 < target_ratio < 1.0:
+        raise ValueError(f"target_ratio must be in (0, 1), got {target_ratio}")
+
+    positives = np.flatnonzero(labels == 1)
+    negatives = np.flatnonzero(labels == 0)
+    if len(positives) == 0:
+        raise ValueError("no minority samples to oversample")
+    if class_ratio(labels) >= target_ratio:
+        return tensors.copy(), labels.copy()
+
+    # n_pos + extra over n_total + extra = target  ->  solve for extra
+    n_pos, n_total = len(positives), len(labels)
+    extra = int(np.ceil(
+        (target_ratio * n_total - n_pos) / (1.0 - target_ratio)
+    ))
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(positives, size=extra, replace=True)
+
+    replicas = []
+    for index in picks:
+        tensor = tensors[index]
+        if augment:
+            orientation = TENSOR_ORIENTATIONS[
+                rng.integers(0, len(TENSOR_ORIENTATIONS))
+            ]
+            tensor = augment_tensor(tensor, orientation, block_size)
+        replicas.append(tensor)
+
+    out_x = np.concatenate([tensors, np.stack(replicas)], axis=0)
+    out_y = np.concatenate([labels, np.ones(extra, dtype=np.int64)])
+    del negatives
+    return out_x, out_y

@@ -1,0 +1,86 @@
+"""Dataset splitting utilities.
+
+Stratified splits and cross-validation folds over
+:class:`~repro.data.dataset.ClipDataset`, preserving the hotspot ratio
+per part — essential when the minority class is 2 % of the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import ClipDataset
+
+__all__ = ["stratified_split", "stratified_kfold"]
+
+
+def _per_class_indices(labels: np.ndarray, rng: np.random.Generator):
+    """Shuffled index arrays per class."""
+    classes = np.unique(labels)
+    return {
+        int(c): rng.permutation(np.flatnonzero(labels == c))
+        for c in classes
+    }
+
+
+def stratified_split(
+    dataset: ClipDataset,
+    fractions: tuple[float, ...] = (0.7, 0.3),
+    seed: int = 0,
+) -> list[ClipDataset]:
+    """Split into parts with (approximately) equal hotspot ratios.
+
+    ``fractions`` must sum to 1; each class is divided proportionally
+    (largest-remainder rounding) so no part silently loses the minority
+    class when enough samples exist.
+    """
+    fractions = tuple(float(f) for f in fractions)
+    if any(f <= 0 for f in fractions):
+        raise ValueError("fractions must be positive")
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+
+    rng = np.random.default_rng(seed)
+    per_class = _per_class_indices(dataset.labels, rng)
+    parts: list[list[int]] = [[] for _ in fractions]
+
+    for indices in per_class.values():
+        n = len(indices)
+        counts = np.floor(np.array(fractions) * n).astype(int)
+        remainders = np.array(fractions) * n - counts
+        # distribute leftovers to the largest remainders
+        for i in np.argsort(-remainders)[: n - counts.sum()]:
+            counts[i] += 1
+        start = 0
+        for part, count in zip(parts, counts):
+            part.extend(int(i) for i in indices[start : start + count])
+            start += count
+
+    return [dataset.subset(sorted(part)) for part in parts]
+
+
+def stratified_kfold(
+    dataset: ClipDataset, k: int = 5, seed: int = 0
+):
+    """Yield ``(train, test)`` dataset pairs for k-fold cross-validation.
+
+    Folds are stratified per class; every sample appears in exactly one
+    test fold.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if k > len(dataset):
+        raise ValueError(f"k={k} exceeds dataset size {len(dataset)}")
+
+    rng = np.random.default_rng(seed)
+    per_class = _per_class_indices(dataset.labels, rng)
+    folds: list[list[int]] = [[] for _ in range(k)]
+    for indices in per_class.values():
+        for position, index in enumerate(indices):
+            folds[position % k].append(int(index))
+
+    all_indices = set(range(len(dataset)))
+    for fold in folds:
+        test_set = sorted(fold)
+        train_set = sorted(all_indices - set(fold))
+        yield dataset.subset(train_set), dataset.subset(test_set)

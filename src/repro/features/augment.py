@@ -1,0 +1,125 @@
+"""Orientation augmentation directly in the DCT feature domain.
+
+Hotspot CNN training benefits from D4 (square-symmetry) augmentation,
+but our features are block-DCT tensors, and re-rasterizing plus
+re-encoding every augmented clip would dominate training time.  The DCT
+basis makes that unnecessary: flips and transposes of the *image* map to
+exact, cheap transforms of the *tensor*:
+
+* flipping an image axis reverses the block grid along that axis and
+  multiplies each within-block coefficient of index ``u`` on that axis
+  by ``(-1)^u`` (a property of the DCT-II basis functions);
+* transposing the image transposes the block grid and swaps each
+  coefficient's ``(row, col)`` frequency indices, which permutes the
+  zigzag channel order.
+
+The equivalence ``encode(transform(image)) == augment(encode(image))``
+is asserted exactly in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dct import zigzag_indices
+
+__all__ = ["augment_tensor", "augmentation_batch", "TENSOR_ORIENTATIONS"]
+
+TENSOR_ORIENTATIONS = (
+    "identity",
+    "flip_x",
+    "flip_y",
+    "transpose",
+    "rot90",
+    "rot180",
+    "rot270",
+    "antitranspose",
+)
+
+
+def _sign_vector(block_size: int, axis_index) -> np.ndarray:
+    """(-1)^u per zigzag channel for the given coefficient index axis."""
+    order = zigzag_indices(block_size)
+    return np.array([(-1.0) ** axis_index(r, c) for r, c in order])
+
+
+def _transpose_permutation(block_size: int, channels: int) -> np.ndarray:
+    """Channel permutation realizing the (r, c) -> (c, r) swap.
+
+    Valid whenever the kept zigzag prefix is closed under transposition,
+    which holds for any whole number of leading diagonals (in particular
+    for the full spectrum used by default).
+    """
+    order = zigzag_indices(block_size)[:channels]
+    position = {rc: i for i, rc in enumerate(order)}
+    perm = np.empty(channels, dtype=np.int64)
+    for i, (r, c) in enumerate(order):
+        swapped = position.get((c, r))
+        if swapped is None:
+            raise ValueError(
+                f"zigzag prefix of {channels} channels is not closed under "
+                "transposition; use a full diagonal count"
+            )
+        perm[i] = swapped
+    return perm
+
+
+def augment_tensor(
+    tensor: np.ndarray, orientation: str, block_size: int = 8
+) -> np.ndarray:
+    """Transform a ``(C, H, W)`` DCT tensor as if the source image had
+    been flipped/rotated, without touching the image."""
+    if tensor.ndim != 3:
+        raise ValueError(f"expected (C, H, W) tensor, got {tensor.shape}")
+    if orientation not in TENSOR_ORIENTATIONS:
+        raise ValueError(
+            f"unknown orientation {orientation!r}; known: "
+            f"{TENSOR_ORIENTATIONS}"
+        )
+    if orientation == "identity":
+        return tensor.copy()
+    channels = tensor.shape[0]
+    if orientation == "flip_x":
+        signs = _sign_vector(block_size, lambda r, c: c)[:channels]
+        return tensor[:, :, ::-1] * signs[:, None, None]
+    if orientation == "flip_y":
+        signs = _sign_vector(block_size, lambda r, c: r)[:channels]
+        return tensor[:, ::-1, :] * signs[:, None, None]
+    if orientation == "transpose":
+        perm = _transpose_permutation(block_size, tensor.shape[0])
+        return tensor[perm].transpose(0, 2, 1).copy()
+    if orientation == "rot180":
+        out = augment_tensor(tensor, "flip_x", block_size)
+        return augment_tensor(out, "flip_y", block_size)
+    if orientation == "rot90":
+        # image rot90 (counter-clockwise, numpy convention) = transpose
+        # then flip rows
+        out = augment_tensor(tensor, "transpose", block_size)
+        return augment_tensor(out, "flip_y", block_size)
+    if orientation == "rot270":
+        out = augment_tensor(tensor, "transpose", block_size)
+        return augment_tensor(out, "flip_x", block_size)
+    # antitranspose = transpose of the 180-degree rotation
+    out = augment_tensor(tensor, "rot180", block_size)
+    return augment_tensor(out, "transpose", block_size)
+
+
+def augmentation_batch(
+    tensors: np.ndarray,
+    labels: np.ndarray,
+    orientations=("identity", "flip_x", "flip_y", "rot180"),
+    block_size: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a training batch with D4 orientations (labels repeated)."""
+    tensors = np.asarray(tensors)
+    labels = np.asarray(labels)
+    if len(tensors) != len(labels):
+        raise ValueError("tensors and labels lengths differ")
+    expanded = [
+        np.stack([augment_tensor(t, o, block_size) for t in tensors])
+        for o in orientations
+    ]
+    return (
+        np.concatenate(expanded, axis=0),
+        np.tile(labels, len(orientations)),
+    )

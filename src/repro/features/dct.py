@@ -1,0 +1,85 @@
+"""Block-DCT feature encoding of clip rasters.
+
+Hotspot CNNs in the Yang et al. lineage (which the paper builds on) do not
+consume raw clip pixels: the clip image is divided into a grid of blocks,
+each block is transformed with a 2-D DCT, and the first ``k`` zigzag
+coefficients of every block are kept.  The result is a compact
+``(blocks, blocks, k)`` tensor — low-frequency layout structure with an
+order-of-magnitude fewer inputs than the raw raster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+__all__ = ["zigzag_indices", "block_dct", "dct_encode", "dct_decode"]
+
+
+def zigzag_indices(size: int) -> list[tuple[int, int]]:
+    """Zigzag scan order of a ``size x size`` block (JPEG convention)."""
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    order = []
+    for s in range(2 * size - 1):
+        diagonal = [
+            (i, s - i) for i in range(size) if 0 <= s - i < size
+        ]
+        if s % 2 == 0:
+            diagonal.reverse()  # even diagonals run bottom-left to top-right
+        order.extend(diagonal)
+    return order
+
+
+def block_dct(image: np.ndarray, blocks: int) -> np.ndarray:
+    """Per-block orthonormal 2-D DCT of ``image`` split into a grid.
+
+    Returns shape ``(blocks, blocks, bh, bw)`` where ``bh = H // blocks``.
+    """
+    h, w = image.shape
+    if h % blocks or w % blocks:
+        raise ValueError(
+            f"image {image.shape} not divisible into {blocks}x{blocks} blocks"
+        )
+    bh, bw = h // blocks, w // blocks
+    tiles = image.reshape(blocks, bh, blocks, bw).transpose(0, 2, 1, 3)
+    return dctn(tiles, axes=(2, 3), norm="ortho")
+
+
+def dct_encode(image: np.ndarray, blocks: int = 12, coeffs: int = 32) -> np.ndarray:
+    """Encode a clip raster into a ``(coeffs, blocks, blocks)`` tensor.
+
+    The channel axis comes first (NCHW minus the batch axis) so encoded
+    clips feed :class:`repro.nn.Conv2D` directly.
+    """
+    spectra = block_dct(image, blocks)
+    bh, bw = spectra.shape[2], spectra.shape[3]
+    if coeffs > bh * bw:
+        raise ValueError(
+            f"requested {coeffs} coefficients but blocks have {bh * bw}"
+        )
+    if bh != bw:
+        raise ValueError(f"non-square blocks {bh}x{bw} unsupported")
+    order = zigzag_indices(bh)[:coeffs]
+    rows = np.array([r for r, _ in order])
+    cols = np.array([c for _, c in order])
+    # (blocks, blocks, coeffs) -> (coeffs, blocks, blocks)
+    return spectra[:, :, rows, cols].transpose(2, 0, 1)
+
+
+def dct_decode(tensor: np.ndarray, block_size: int) -> np.ndarray:
+    """Approximate inverse of :func:`dct_encode` (truncated spectrum).
+
+    Useful for visualizing what the CNN actually sees; reconstruction is
+    lossy because only the leading zigzag coefficients were kept.
+    """
+    coeffs, blocks_y, blocks_x = tensor.shape
+    order = zigzag_indices(block_size)[:coeffs]
+    spectra = np.zeros((blocks_y, blocks_x, block_size, block_size))
+    for channel, (r, c) in enumerate(order):
+        spectra[:, :, r, c] = tensor[channel]
+    tiles = idctn(spectra, axes=(2, 3), norm="ortho")
+    image = tiles.transpose(0, 2, 1, 3).reshape(
+        blocks_y * block_size, blocks_x * block_size
+    )
+    return image

@@ -1,0 +1,38 @@
+"""Density-based layout features.
+
+Coarse pattern-density grids are the classic pre-CNN hotspot feature and
+remain useful as a cheap signature for pattern matching and for the GMM
+that seeds the active-learning loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["density_grid", "density_stats"]
+
+
+def density_grid(image: np.ndarray, cells: int = 8) -> np.ndarray:
+    """Average coverage in a ``cells x cells`` grid over the raster.
+
+    Returns a flat vector of length ``cells**2`` with values in [0, 1].
+    """
+    h, w = image.shape
+    if h % cells or w % cells:
+        raise ValueError(f"raster {image.shape} not divisible by {cells}")
+    ch, cw = h // cells, w // cells
+    grid = image.reshape(cells, ch, cells, cw).mean(axis=(1, 3))
+    return grid.reshape(-1)
+
+
+def density_stats(image: np.ndarray) -> np.ndarray:
+    """Five summary statistics of a clip raster.
+
+    ``[mean, std, max, edge-density-x, edge-density-y]`` — edge densities
+    are mean absolute finite differences, a proxy for pattern complexity.
+    """
+    gx = np.abs(np.diff(image, axis=1)).mean() if image.shape[1] > 1 else 0.0
+    gy = np.abs(np.diff(image, axis=0)).mean() if image.shape[0] > 1 else 0.0
+    return np.array(
+        [image.mean(), image.std(), image.max(), gx, gy], dtype=np.float64
+    )

@@ -1,0 +1,38 @@
+"""Layout substrate (S2): rectilinear geometry, full-chip container,
+clip extraction, rasterization and GLP text I/O."""
+
+from .clip import Clip, extract_clip, extract_clip_grid
+from .gds import load_gds, save_gds
+from .geometry import Rect, bounding_box, merge_touching, total_area
+from .glp import load_layout, save_layout
+from .layout import Layout
+from .polygon import RectilinearPolygon
+from .raster import rasterize, rasterize_binary
+from .transforms import (
+    ORIENTATIONS,
+    transform_clip,
+    transform_rect,
+    transform_rects,
+)
+
+__all__ = [
+    "Rect",
+    "bounding_box",
+    "total_area",
+    "merge_touching",
+    "RectilinearPolygon",
+    "Layout",
+    "Clip",
+    "extract_clip",
+    "extract_clip_grid",
+    "rasterize",
+    "rasterize_binary",
+    "save_layout",
+    "load_layout",
+    "save_gds",
+    "load_gds",
+    "ORIENTATIONS",
+    "transform_rect",
+    "transform_rects",
+    "transform_clip",
+]

@@ -1,0 +1,183 @@
+"""Minimal GDSII stream-format reader/writer.
+
+Industry layouts travel as GDSII binary streams.  This module implements
+the subset needed for single-layer rectilinear mask data: one library,
+one structure, BOUNDARY elements with rectangular/rectilinear contours
+(rectilinear polygons are decomposed to rects on read through
+:class:`~repro.layout.polygon.RectilinearPolygon`).
+
+GDSII records are ``[u16 length][u8 record type][u8 data type][payload]``
+big-endian; coordinates are 4-byte signed integers in database units
+(we use 1 dbu = 1 nm).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from .geometry import Rect
+from .layout import Layout
+from .polygon import RectilinearPolygon
+
+__all__ = ["save_gds", "load_gds"]
+
+# record types (subset)
+_HEADER = 0x00
+_BGNLIB = 0x01
+_LIBNAME = 0x02
+_UNITS = 0x03
+_ENDLIB = 0x04
+_BGNSTR = 0x05
+_STRNAME = 0x06
+_ENDSTR = 0x07
+_BOUNDARY = 0x08
+_LAYER = 0x0D
+_DATATYPE = 0x0E
+_XY = 0x10
+_ENDEL = 0x11
+
+# data types
+_NODATA = 0x00
+_INT2 = 0x02
+_INT4 = 0x03
+_REAL8 = 0x05
+_ASCII = 0x06
+
+_ZERO_TIME = (1970, 1, 1, 0, 0, 0)
+
+
+def _record(rtype: int, dtype: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    return struct.pack(">HBB", length, rtype, dtype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\x00"
+    return data
+
+
+def _real8(value: float) -> bytes:
+    """GDSII 8-byte excess-64 base-16 float."""
+    if value == 0:
+        return b"\x00" * 8
+    sign = 0x80 if value < 0 else 0x00
+    value = abs(value)
+    exponent = 0
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B7s", sign | (exponent + 64),
+                       mantissa.to_bytes(7, "big"))
+
+
+def _parse_real8(data: bytes) -> float:
+    first = data[0]
+    sign = -1.0 if first & 0x80 else 1.0
+    exponent = (first & 0x7F) - 64
+    mantissa = int.from_bytes(data[1:8], "big") / float(1 << 56)
+    return sign * mantissa * 16.0**exponent
+
+
+def save_gds(layout: Layout, path, layer: int = 1) -> None:
+    """Write ``layout`` as a single-structure GDSII stream.
+
+    Database unit is 1 nm (1e-9 m); user unit 1 µm.
+    """
+    chunks = [
+        _record(_HEADER, _INT2, struct.pack(">h", 600)),
+        _record(_BGNLIB, _INT2, struct.pack(">12h", *(_ZERO_TIME * 2))),
+        _record(_LIBNAME, _ASCII, _ascii("REPRO")),
+        _record(_UNITS, _REAL8, _real8(1e-3) + _real8(1e-9)),
+        _record(_BGNSTR, _INT2, struct.pack(">12h", *(_ZERO_TIME * 2))),
+        _record(_STRNAME, _ASCII, _ascii(layout.name[:32] or "TOP")),
+    ]
+    for rect in layout.rects:
+        ring = (
+            (rect.x0, rect.y0),
+            (rect.x1, rect.y0),
+            (rect.x1, rect.y1),
+            (rect.x0, rect.y1),
+            (rect.x0, rect.y0),  # GDSII closes the ring explicitly
+        )
+        xy = b"".join(struct.pack(">ii", x, y) for x, y in ring)
+        chunks.extend(
+            [
+                _record(_BOUNDARY, _NODATA),
+                _record(_LAYER, _INT2, struct.pack(">h", layer)),
+                _record(_DATATYPE, _INT2, struct.pack(">h", 0)),
+                _record(_XY, _INT4, xy),
+                _record(_ENDEL, _NODATA),
+            ]
+        )
+    chunks.append(_record(_ENDSTR, _NODATA))
+    chunks.append(_record(_ENDLIB, _NODATA))
+    Path(path).write_bytes(b"".join(chunks))
+
+
+def _iter_records(data: bytes):
+    offset = 0
+    while offset + 4 <= len(data):
+        length, rtype, dtype = struct.unpack_from(">HBB", data, offset)
+        if length < 4:
+            raise ValueError(f"corrupt GDSII record at offset {offset}")
+        payload = data[offset + 4 : offset + length]
+        yield rtype, dtype, payload
+        offset += length
+        if rtype == _ENDLIB:
+            return
+    raise ValueError("GDSII stream ended without ENDLIB")
+
+
+def load_gds(path, tech_nm: int = 28) -> Layout:
+    """Read a GDSII stream written by :func:`save_gds` (or compatible).
+
+    All BOUNDARY elements on any layer are collected; rectilinear
+    polygon contours are decomposed to rectangles.  Raises
+    :class:`ValueError` on malformed streams.
+    """
+    data = Path(path).read_bytes()
+    if len(data) < 4:
+        raise ValueError(f"{path}: not a GDSII stream (too short)")
+
+    name = "layout"
+    rects: list[Rect] = []
+    in_boundary = False
+    saw_header = False
+
+    for rtype, dtype, payload in _iter_records(data):
+        if rtype == _HEADER:
+            saw_header = True
+        elif rtype == _STRNAME:
+            name = payload.rstrip(b"\x00").decode("ascii", "replace")
+        elif rtype == _BOUNDARY:
+            in_boundary = True
+        elif rtype == _XY and in_boundary:
+            count = len(payload) // 8
+            points = [
+                struct.unpack_from(">ii", payload, i * 8)
+                for i in range(count)
+            ]
+            if len(points) >= 2 and points[0] == points[-1]:
+                points = points[:-1]  # drop the closing vertex
+            if len(points) == 4:
+                xs = [p[0] for p in points]
+                ys = [p[1] for p in points]
+                rects.append(Rect(min(xs), min(ys), max(xs), max(ys)))
+            else:
+                poly = RectilinearPolygon(tuple(points))
+                rects.extend(poly.to_rects())
+        elif rtype == _ENDEL:
+            in_boundary = False
+
+    if not saw_header:
+        raise ValueError(f"{path}: missing GDSII HEADER record")
+    if not rects:
+        raise ValueError(f"{path}: no BOUNDARY geometry found")
+    return Layout(rects, tech_nm=tech_nm, name=name)

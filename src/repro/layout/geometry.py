@@ -1,0 +1,155 @@
+"""Rectilinear geometry primitives.
+
+Layout coordinates are integer nanometres, matching GDS conventions: a
+:class:`Rect` is a half-open box ``[x0, x1) x [y0, y1)`` so that abutting
+rectangles tile without double-counting area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rect", "bounding_box", "total_area", "merge_touching"]
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Axis-aligned rectangle with integer nm coordinates, half-open."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate rect {self!r}")
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def shifted(self, dx: int, dy: int) -> "Rect":
+        """A copy translated by (dx, dy)."""
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the interiors overlap (touching edges do not count)."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap region, or ``None`` when interiors are disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Half-open containment test."""
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def expanded(self, margin: int) -> "Rect":
+        """Grow (or shrink, for negative margin) by ``margin`` on all sides."""
+        return Rect(
+            self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin
+        )
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.x0, self.y0, self.x1, self.y1)
+
+
+def bounding_box(rects) -> Rect:
+    """Smallest rect covering all ``rects``; raises on an empty input."""
+    rects = list(rects)
+    if not rects:
+        raise ValueError("bounding_box of empty collection")
+    return Rect(
+        min(r.x0 for r in rects),
+        min(r.y0 for r in rects),
+        max(r.x1 for r in rects),
+        max(r.y1 for r in rects),
+    )
+
+
+def total_area(rects) -> int:
+    """Union area of possibly overlapping rects (sweep over y-slabs).
+
+    Exact for integer coordinates; quadratic in the number of rects, so
+    intended for per-clip geometry counts, not full chips.
+    """
+    rects = list(rects)
+    if not rects:
+        return 0
+    ys = sorted({r.y0 for r in rects} | {r.y1 for r in rects})
+    area = 0
+    for y_lo, y_hi in zip(ys, ys[1:]):
+        spans = sorted(
+            (r.x0, r.x1) for r in rects if r.y0 <= y_lo and r.y1 >= y_hi
+        )
+        covered = 0
+        cur_lo: int | None = None
+        cur_hi: int | None = None
+        for x0, x1 in spans:
+            if cur_hi is None or x0 > cur_hi:
+                if cur_hi is not None:
+                    covered += cur_hi - cur_lo
+                cur_lo, cur_hi = x0, x1
+            else:
+                cur_hi = max(cur_hi, x1)
+        if cur_hi is not None:
+            covered += cur_hi - cur_lo
+        area += covered * (y_hi - y_lo)
+    return area
+
+
+def merge_touching(rects) -> list[Rect]:
+    """Greedily merge horizontally abutting rects of equal height.
+
+    A light-weight cleanup pass used by the synthetic layout generators to
+    keep shape counts down; not a full polygon union.
+    """
+    by_row: dict[tuple[int, int], list[Rect]] = {}
+    for r in rects:
+        by_row.setdefault((r.y0, r.y1), []).append(r)
+
+    merged: list[Rect] = []
+    for (y0, y1), row in by_row.items():
+        row.sort(key=lambda r: r.x0)
+        cur = row[0]
+        for r in row[1:]:
+            if r.x0 <= cur.x1:
+                cur = Rect(cur.x0, y0, max(cur.x1, r.x1), y1)
+            else:
+                merged.append(cur)
+                cur = r
+        merged.append(cur)
+    return sorted(merged)

@@ -1,0 +1,90 @@
+"""GLP-style text serialization for layouts and clips.
+
+The ICCAD contest benchmarks circulate as GDS/OASIS plus "glp" text dumps;
+this module provides an equivalent plain-text format so synthetic
+benchmarks can be saved, inspected, and reloaded without binary tooling:
+
+.. code-block:: text
+
+    GLP 1
+    NAME metal1
+    TECH 28
+    DIE 0 0 40000 40000
+    RECT 100 200 300 400
+    ...
+    END
+
+Coordinates are integer nanometres, one shape per line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .geometry import Rect
+from .layout import Layout
+
+__all__ = ["save_layout", "load_layout"]
+
+_MAGIC = "GLP 1"
+
+
+def save_layout(layout: Layout, path) -> None:
+    """Write ``layout`` to ``path`` in GLP text format."""
+    lines = [
+        _MAGIC,
+        f"NAME {layout.name}",
+        f"TECH {layout.tech_nm}",
+        f"DIE {layout.die.x0} {layout.die.y0} {layout.die.x1} {layout.die.y1}",
+    ]
+    lines.extend(f"RECT {r.x0} {r.y0} {r.x1} {r.y1}" for r in layout.rects)
+    lines.append("END")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_layout(path) -> Layout:
+    """Read a layout previously written by :func:`save_layout`.
+
+    Raises :class:`ValueError` on malformed input with the offending line
+    number in the message.
+    """
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise ValueError(f"{path}: not a GLP file (missing '{_MAGIC}' header)")
+
+    name = "layout"
+    tech = 28
+    die: Rect | None = None
+    rects: list[Rect] = []
+    ended = False
+
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ended:
+            raise ValueError(f"{path}:{lineno}: content after END")
+        fields = line.split()
+        keyword = fields[0].upper()
+        try:
+            if keyword == "NAME":
+                name = fields[1] if len(fields) > 1 else "layout"
+            elif keyword == "TECH":
+                tech = int(fields[1])
+            elif keyword == "DIE":
+                die = Rect(*map(int, fields[1:5]))
+            elif keyword == "RECT":
+                rects.append(Rect(*map(int, fields[1:5])))
+            elif keyword == "END":
+                ended = True
+            else:
+                raise ValueError(f"unknown keyword {keyword!r}")
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from None
+
+    if not ended:
+        raise ValueError(f"{path}: missing END")
+    if die is None and not rects:
+        raise ValueError(f"{path}: empty layout with no DIE record")
+    return Layout(rects, die=die, tech_nm=tech, name=name)

@@ -1,0 +1,100 @@
+"""Full-chip layout container with a uniform-grid spatial index.
+
+A :class:`Layout` stores one layer of rectilinear mask shapes over a die
+region.  Clip extraction — the operation active learning performs tens of
+thousands of times — is served from a bucket grid, so window queries touch
+only nearby shapes instead of scanning the whole chip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .geometry import Rect, bounding_box
+
+__all__ = ["Layout"]
+
+
+class Layout:
+    """One routing/metal layer of a chip design.
+
+    Parameters
+    ----------
+    rects:
+        Mask shapes in integer nm coordinates.
+    die:
+        Die region; defaults to the bounding box of ``rects``.
+    tech_nm:
+        Technology node label (28 for ICCAD'12-style, 7 for ICCAD'16-style).
+    name:
+        Free-form identifier carried through to benchmarks and reports.
+    """
+
+    def __init__(
+        self,
+        rects: Sequence[Rect],
+        die: Rect | None = None,
+        tech_nm: int = 28,
+        name: str = "layout",
+        bucket_nm: int | None = None,
+    ) -> None:
+        self.rects: list[Rect] = list(rects)
+        if die is None:
+            if not self.rects:
+                raise ValueError("empty layout requires an explicit die region")
+            die = bounding_box(self.rects)
+        self.die = die
+        self.tech_nm = tech_nm
+        self.name = name
+
+        # Bucket size: a handful of typical pitches; default scales with die.
+        if bucket_nm is None:
+            bucket_nm = max(64, min(die.width, die.height) // 64 or 64)
+        self._bucket_nm = bucket_nm
+        self._grid: dict[tuple[int, int], list[int]] = {}
+        for idx, rect in enumerate(self.rects):
+            for key in self._buckets_of(rect):
+                self._grid.setdefault(key, []).append(idx)
+
+    def _buckets_of(self, rect: Rect) -> Iterable[tuple[int, int]]:
+        b = self._bucket_nm
+        for bx in range(rect.x0 // b, (rect.x1 - 1) // b + 1):
+            for by in range(rect.y0 // b, (rect.y1 - 1) // b + 1):
+                yield (bx, by)
+
+    def __len__(self) -> int:
+        return len(self.rects)
+
+    def query(self, window: Rect) -> list[Rect]:
+        """All shapes whose interior overlaps ``window``."""
+        hits: set[int] = set()
+        for key in self._buckets_of(window):
+            hits.update(self._grid.get(key, ()))
+        return [self.rects[i] for i in sorted(hits) if self.rects[i].intersects(window)]
+
+    def query_clipped(self, window: Rect) -> list[Rect]:
+        """Shapes overlapping ``window``, clipped to it and re-based to its
+        origin — the geometry a clip rasterizer consumes."""
+        out: list[Rect] = []
+        for rect in self.query(window):
+            part = rect.intersection(window)
+            if part is not None:
+                out.append(part.shifted(-window.x0, -window.y0))
+        return out
+
+    def density(self, window: Rect) -> float:
+        """Fraction of ``window`` area covered by shapes (overlap-safe)."""
+        from .geometry import total_area
+
+        clipped = []
+        for rect in self.query(window):
+            part = rect.intersection(window)
+            if part is not None:
+                clipped.append(part)
+        return total_area(clipped) / window.area
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Layout({self.name!r}, {len(self.rects)} rects, "
+            f"die={self.die.as_tuple()}, tech={self.tech_nm}nm)"
+        )

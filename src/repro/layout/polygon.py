@@ -1,0 +1,106 @@
+"""Rectilinear polygons and their decomposition into rectangles.
+
+GDS layouts store arbitrary rectilinear polygons; the rest of this
+package works on rectangles.  This module bridges the two: a
+:class:`RectilinearPolygon` validates its contour and decomposes itself
+into non-overlapping rectangles by horizontal slab sweeping, so polygon
+input (e.g. L/T/U-shaped wires) flows into the same clip/raster/litho
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .geometry import Rect
+
+__all__ = ["RectilinearPolygon"]
+
+
+@dataclass(frozen=True)
+class RectilinearPolygon:
+    """A simple rectilinear polygon given by its vertex ring.
+
+    Vertices are (x, y) integer pairs in order (either orientation);
+    consecutive edges must alternate horizontal/vertical, and the ring
+    closes implicitly from the last vertex back to the first.
+    """
+
+    vertices: tuple
+
+    def __post_init__(self) -> None:
+        verts = tuple((int(x), int(y)) for x, y in self.vertices)
+        object.__setattr__(self, "vertices", verts)
+        n = len(verts)
+        if n < 4:
+            raise ValueError(f"need at least 4 vertices, got {n}")
+        if n % 2:
+            raise ValueError("rectilinear polygons have an even vertex count")
+        orientations = []
+        for i in range(n):
+            x0, y0 = verts[i]
+            x1, y1 = verts[(i + 1) % n]
+            if (x0 == x1) == (y0 == y1):
+                raise ValueError(
+                    f"edge {i} is not axis-parallel (or has zero length): "
+                    f"{(x0, y0)} -> {(x1, y1)}"
+                )
+            orientations.append(y0 == y1)  # True = horizontal
+        for i in range(n):
+            if orientations[i] == orientations[(i + 1) % n]:
+                raise ValueError(
+                    f"edges {i} and {(i + 1) % n} do not alternate "
+                    "horizontal/vertical"
+                )
+
+    @property
+    def bbox(self) -> Rect:
+        xs = [x for x, _ in self.vertices]
+        ys = [y for _, y in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def _edges(self):
+        n = len(self.vertices)
+        for i in range(n):
+            yield self.vertices[i], self.vertices[(i + 1) % n]
+
+    def to_rects(self) -> list[Rect]:
+        """Decompose into disjoint rectangles (horizontal slab sweep).
+
+        For every horizontal slab between consecutive distinct y
+        coordinates, the vertical edges crossing the slab are sorted by
+        x and paired by even-odd parity; each pair spans one interior
+        rectangle.
+        """
+        ys = sorted({y for _, y in self.vertices})
+        rects: list[Rect] = []
+        for y_lo, y_hi in zip(ys, ys[1:]):
+            crossing = []
+            for (x0, y0), (x1, y1) in self._edges():
+                if x0 == x1:  # vertical edge
+                    lo, hi = min(y0, y1), max(y0, y1)
+                    if lo <= y_lo and hi >= y_hi:
+                        crossing.append(x0)
+            crossing.sort()
+            if len(crossing) % 2:
+                raise ValueError("polygon is self-intersecting or malformed")
+            for left, right in zip(crossing[::2], crossing[1::2]):
+                if right > left:
+                    rects.append(Rect(left, y_lo, right, y_hi))
+        return rects
+
+    @property
+    def area(self) -> int:
+        """Polygon area via the decomposition (exact for integers)."""
+        return sum(rect.area for rect in self.to_rects())
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "RectilinearPolygon":
+        return cls(
+            (
+                (rect.x0, rect.y0),
+                (rect.x1, rect.y0),
+                (rect.x1, rect.y1),
+                (rect.x0, rect.y1),
+            )
+        )

@@ -1,0 +1,88 @@
+"""Orientation transforms of layout geometry.
+
+Mask layouts have the symmetry group of the square (D4): flips and
+90-degree rotations of a pattern print identically under an isotropic
+optical model.  These transforms supply (a) data augmentation for the
+hotspot CNN and (b) canonicalization for orientation-insensitive pattern
+matching.
+"""
+
+from __future__ import annotations
+
+from .clip import Clip
+from .geometry import Rect
+
+__all__ = [
+    "ORIENTATIONS",
+    "transform_rect",
+    "transform_rects",
+    "transform_clip",
+]
+
+#: the eight square symmetries: identity, rot90/180/270, mirror-x,
+#: mirror-y, and the two diagonal mirrors
+ORIENTATIONS = (
+    "identity",
+    "rot90",
+    "rot180",
+    "rot270",
+    "flip_x",
+    "flip_y",
+    "transpose",
+    "antitranspose",
+)
+
+
+def _map_point(x: int, y: int, size: int, orientation: str) -> tuple[int, int]:
+    if orientation == "identity":
+        return x, y
+    if orientation == "rot90":  # (x, y) -> (size - y, x)
+        return size - y, x
+    if orientation == "rot180":
+        return size - x, size - y
+    if orientation == "rot270":
+        return y, size - x
+    if orientation == "flip_x":  # mirror across the vertical axis
+        return size - x, y
+    if orientation == "flip_y":
+        return x, size - y
+    if orientation == "transpose":
+        return y, x
+    if orientation == "antitranspose":
+        return size - y, size - x
+    raise ValueError(
+        f"unknown orientation {orientation!r}; known: {ORIENTATIONS}"
+    )
+
+
+def transform_rect(rect: Rect, size: int, orientation: str) -> Rect:
+    """Transform ``rect`` within a ``[0, size]^2`` frame."""
+    x0, y0 = _map_point(rect.x0, rect.y0, size, orientation)
+    x1, y1 = _map_point(rect.x1, rect.y1, size, orientation)
+    return Rect(min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1))
+
+
+def transform_rects(rects, size: int, orientation: str) -> list[Rect]:
+    return [transform_rect(rect, size, orientation) for rect in rects]
+
+
+def transform_clip(clip: Clip, orientation: str) -> Clip:
+    """A new clip with its local geometry transformed in place.
+
+    Only square clips support the rotation/transpose orientations; the
+    window coordinates are kept (the transform is a local augmentation,
+    not a physical move on the chip).
+    """
+    width, height = clip.size
+    if width != height and orientation not in ("identity", "flip_x", "flip_y"):
+        raise ValueError(
+            f"orientation {orientation!r} requires a square clip, "
+            f"got {width}x{height}"
+        )
+    return Clip(
+        window=clip.window,
+        core=clip.core,
+        rects=transform_rects(clip.rects, width, orientation),
+        layout_name=clip.layout_name,
+        index=clip.index,
+    )

@@ -1,0 +1,45 @@
+"""Lithography simulation substrate (S3): optics, resist, defect
+detection, process-window simulation, and the counting labeler that acts
+as the expensive labeling oracle of the PSHD problem."""
+
+from .contour import cd_uniformity, contour_crossings, measure_cd
+from .drc import DRCRules, DRCViolation, check_clip, drc_screen
+from .epe import Defect, edge_placement_error, find_defects
+from .opc import OPCConfig, OPCResult, optimize_mask, print_error
+from .labeler import SECONDS_PER_LITHO_CLIP, LithoLabeler
+from .optics import OpticalModel, duv_model, euv_model
+from .process_window import ProcessWindow, analyze_process_window
+from .resist import ThresholdResist
+from .simulator import LithoResult, LithoSimulator, ProcessCorner, default_corners
+from .socs import SOCSModel, gauss_hermite_kernel
+
+__all__ = [
+    "OpticalModel",
+    "duv_model",
+    "euv_model",
+    "SOCSModel",
+    "gauss_hermite_kernel",
+    "ThresholdResist",
+    "Defect",
+    "find_defects",
+    "edge_placement_error",
+    "ProcessCorner",
+    "default_corners",
+    "LithoResult",
+    "LithoSimulator",
+    "LithoLabeler",
+    "SECONDS_PER_LITHO_CLIP",
+    "ProcessWindow",
+    "analyze_process_window",
+    "DRCRules",
+    "DRCViolation",
+    "check_clip",
+    "drc_screen",
+    "OPCConfig",
+    "OPCResult",
+    "optimize_mask",
+    "print_error",
+    "contour_crossings",
+    "measure_cd",
+    "cd_uniformity",
+]

@@ -1,0 +1,107 @@
+"""DRC-lite: geometric minimum-width / minimum-spacing checking.
+
+Design-rule checking is the classic *geometric* pre-filter for
+printability: rules catch gross violations cheaply, but lithographic
+hotspots are by definition patterns that pass DRC yet fail to print —
+which is why learning-based detection exists.  This module provides a
+raster-based width/spacing scanner used (a) as a cheap screening
+baseline and (b) in tests to confirm that generated hotspots are
+DRC-clean at the drawn rules, i.e. genuinely lithographic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..layout.clip import Clip
+
+__all__ = ["DRCRules", "DRCViolation", "check_clip", "drc_screen"]
+
+
+@dataclass(frozen=True)
+class DRCRules:
+    """Minimum drawn dimensions in nm."""
+
+    min_width_nm: float
+    min_spacing_nm: float
+
+    def __post_init__(self) -> None:
+        if self.min_width_nm <= 0 or self.min_spacing_nm <= 0:
+            raise ValueError("DRC rules must be positive")
+
+
+@dataclass(frozen=True)
+class DRCViolation:
+    """One rule violation: kind is ``"width"`` or ``"spacing"``."""
+
+    kind: str
+    row: int
+    col: int
+
+
+def _opening_survivors(mask: np.ndarray, size_px: int) -> np.ndarray:
+    """Morphological opening with a ``size_px`` square element."""
+    if size_px <= 1:
+        return mask
+    structure = np.ones((size_px, size_px), dtype=bool)
+    return ndimage.binary_opening(mask, structure=structure)
+
+
+def check_clip(
+    clip: Clip, rules: DRCRules, grid: int = 192
+) -> list[DRCViolation]:
+    """Scan one clip for width/spacing violations inside its core.
+
+    Raster-morphology approach: metal that disappears under an opening
+    with the min-width element is narrower than the rule; background
+    that disappears under an opening with the min-spacing element is a
+    spacing violation.  Resolution is ``grid`` pixels per clip side, so
+    rules finer than ~2 pixels need a larger grid.
+    """
+    width_nm, _ = clip.size
+    pixel_nm = width_nm / grid
+    width_px = max(int(round(rules.min_width_nm / pixel_nm)), 1)
+    spacing_px = max(int(round(rules.min_spacing_nm / pixel_nm)), 1)
+
+    mask = clip.raster(grid, antialias=False).astype(bool)
+    core = clip.core_local()
+    row0 = int(np.floor(core.y0 / width_nm * grid))
+    row1 = int(np.ceil(core.y1 / width_nm * grid))
+    col0 = int(np.floor(core.x0 / width_nm * grid))
+    col1 = int(np.ceil(core.x1 / width_nm * grid))
+    core_mask = np.zeros_like(mask)
+    core_mask[row0:row1, col0:col1] = True
+
+    violations: list[DRCViolation] = []
+
+    narrow = mask & ~_opening_survivors(mask, width_px) & core_mask
+    violations.extend(_centroids(narrow, "width"))
+
+    gaps = ~mask & ~_opening_survivors(~mask, spacing_px) & core_mask
+    violations.extend(_centroids(gaps, "spacing"))
+    return violations
+
+
+def _centroids(region: np.ndarray, kind: str) -> list[DRCViolation]:
+    labels, count = ndimage.label(region)
+    if count == 0:
+        return []
+    centers = ndimage.center_of_mass(region, labels, np.arange(1, count + 1))
+    return [DRCViolation(kind, int(round(r)), int(round(c)))
+            for r, c in centers]
+
+
+def drc_screen(
+    clips, rules: DRCRules, grid: int = 192
+) -> np.ndarray:
+    """Vector of per-clip DRC verdicts (True = has a violation).
+
+    The screening baseline: flagging DRC-dirty clips costs no litho at
+    all, but misses every DRC-clean hotspot — quantified in the tests.
+    """
+    return np.array(
+        [bool(check_clip(clip, rules, grid)) for clip in clips], dtype=bool
+    )

@@ -1,0 +1,157 @@
+"""Printability checking: EPE, pinch and bridge defect detection.
+
+Given the intended pattern (the rasterized mask target) and the printed
+image from the resist model, this module finds manufacturing defects in a
+clip's core region:
+
+* **pinch** — a target feature thins away or breaks: printed resist is
+  missing well inside a target shape;
+* **bridge** — two separate features merge: resist prints well outside any
+  target shape;
+* **EPE violation** — the printed contour lands farther than a tolerance
+  from the target edge (computed with distance transforms).
+
+A clip is a hotspot when any defect occurs inside its core region at any
+process corner (Definition 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["Defect", "find_defects", "edge_placement_error"]
+
+
+@dataclass(frozen=True)
+class Defect:
+    """A single printability violation.
+
+    ``kind`` is ``"pinch"``, ``"bridge"`` or ``"epe"``; ``row``/``col`` are
+    pixel coordinates in the clip raster; ``severity`` is in pixels of
+    placement error (or 0 area-threshold overflow units for pinch/bridge).
+    """
+
+    kind: str
+    row: int
+    col: int
+    severity: float
+
+
+def _interior(mask: np.ndarray, margin_px: int) -> np.ndarray:
+    """Erode ``mask`` by ``margin_px`` (8-connected square element)."""
+    if margin_px <= 0:
+        return mask
+    structure = np.ones((2 * margin_px + 1, 2 * margin_px + 1), dtype=bool)
+    return ndimage.binary_erosion(mask, structure=structure)
+
+
+def _exterior(mask: np.ndarray, margin_px: int) -> np.ndarray:
+    """Dilate ``mask`` by ``margin_px``."""
+    if margin_px <= 0:
+        return mask
+    structure = np.ones((2 * margin_px + 1, 2 * margin_px + 1), dtype=bool)
+    return ndimage.binary_dilation(mask, structure=structure)
+
+
+def edge_placement_error(
+    target: np.ndarray, printed: np.ndarray
+) -> np.ndarray:
+    """Per-pixel edge placement error field in pixels.
+
+    For every pixel on the target contour, the distance to the nearest
+    printed contour pixel.  Returns an array of shape ``target.shape``
+    that is 0 away from target edges.
+    """
+    target = target.astype(bool)
+    printed = printed.astype(bool)
+    target_edge = target ^ ndimage.binary_erosion(target)
+    printed_edge = printed ^ ndimage.binary_erosion(printed)
+
+    field = np.zeros(target.shape, dtype=np.float64)
+    if not target_edge.any():
+        return field
+    if not printed_edge.any():
+        # nothing printed at all: every target edge is maximally misplaced
+        field[target_edge] = float(max(target.shape))
+        return field
+    distance = ndimage.distance_transform_edt(~printed_edge)
+    field[target_edge] = distance[target_edge]
+    return field
+
+
+def find_defects(
+    target: np.ndarray,
+    printed: np.ndarray,
+    core: tuple[int, int, int, int],
+    epe_tolerance_px: float = 2.0,
+    morph_margin_px: int = 2,
+    min_defect_px: int = 2,
+) -> list[Defect]:
+    """Locate pinch/bridge/EPE defects inside the core region.
+
+    Parameters
+    ----------
+    target, printed:
+        Binary images of intended and printed patterns (same shape).
+    core:
+        ``(row0, col0, row1, col1)`` half-open pixel bounds of the core.
+    epe_tolerance_px:
+        Maximum allowed contour displacement.
+    morph_margin_px:
+        Erosion/dilation margin defining "well inside"/"well outside";
+        shields ordinary corner rounding from being flagged.
+    min_defect_px:
+        Connected components smaller than this are ignored (noise guard).
+    """
+    if target.shape != printed.shape:
+        raise ValueError(
+            f"shape mismatch: target {target.shape} vs printed {printed.shape}"
+        )
+    row0, col0, row1, col1 = core
+    if not (0 <= row0 < row1 <= target.shape[0]) or not (
+        0 <= col0 < col1 <= target.shape[1]
+    ):
+        raise ValueError(f"core {core} outside image {target.shape}")
+
+    target = target.astype(bool)
+    printed = printed.astype(bool)
+    core_mask = np.zeros(target.shape, dtype=bool)
+    core_mask[row0:row1, col0:col1] = True
+
+    defects: list[Defect] = []
+
+    # pinch: target interior that failed to print
+    pinch_region = _interior(target, morph_margin_px) & ~printed & core_mask
+    defects.extend(_component_defects(pinch_region, "pinch", min_defect_px))
+
+    # bridge: printed resist well outside any target shape
+    bridge_region = printed & ~_exterior(target, morph_margin_px) & core_mask
+    defects.extend(_component_defects(bridge_region, "bridge", min_defect_px))
+
+    # EPE: contour displacement beyond tolerance
+    epe_field = edge_placement_error(target, printed)
+    epe_region = (epe_field > epe_tolerance_px) & core_mask
+    for defect in _component_defects(epe_region, "epe", min_defect_px):
+        severity = float(epe_field[defect.row, defect.col])
+        defects.append(Defect("epe", defect.row, defect.col, severity))
+
+    return defects
+
+
+def _component_defects(
+    region: np.ndarray, kind: str, min_defect_px: int
+) -> list[Defect]:
+    """One defect per connected component of ``region`` above size cutoff."""
+    labels, count = ndimage.label(region)
+    defects = []
+    if count == 0:
+        return defects
+    sizes = ndimage.sum_labels(region, labels, index=np.arange(1, count + 1))
+    centers = ndimage.center_of_mass(region, labels, np.arange(1, count + 1))
+    for size, (row, col) in zip(sizes, centers):
+        if size >= min_defect_px:
+            defects.append(Defect(kind, int(round(row)), int(round(col)), float(size)))
+    return defects

@@ -1,0 +1,128 @@
+"""OPC-lite: pixel-based optical proximity correction.
+
+Hotspots are *found* by the paper's flow; fixing them is the job of
+resolution-enhancement technology (RET) that the introduction motivates.
+This module implements the standard inverse-lithography baby step:
+iterative pixel-domain mask correction.  Each iteration simulates the
+aerial image, compares a soft print estimate with the target, and nudges
+the (gray-scale) mask against the error:
+
+    m <- clip( m + eta * blur(target - sigma((I - thr) / slope)) )
+
+The soft print estimate makes the update a smooth proxy of gradient
+descent on the print error; the blur keeps corrections within the
+optics' resolution so the mask stays manufacturable-ish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from .optics import OpticalModel
+from .resist import ThresholdResist
+
+__all__ = ["OPCConfig", "OPCResult", "optimize_mask", "print_error"]
+
+
+@dataclass(frozen=True)
+class OPCConfig:
+    """Correction-loop settings.
+
+    ``step`` is the update rate; ``slope`` the softness of the print
+    estimate (smaller = harder threshold); ``blur_px`` the correction
+    smoothing radius; ``iterations`` the loop length.
+    """
+
+    iterations: int = 20
+    step: float = 0.6
+    slope: float = 0.05
+    blur_px: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+        if self.slope <= 0:
+            raise ValueError("slope must be positive")
+        if self.blur_px < 0:
+            raise ValueError("blur_px must be non-negative")
+
+
+@dataclass
+class OPCResult:
+    """Corrected mask plus the error trace."""
+
+    mask: np.ndarray            # final gray-scale mask in [0, 1]
+    error_trace: list           # per-iteration print error
+    initial_error: float
+    final_error: float
+
+    @property
+    def improved(self) -> bool:
+        return self.final_error < self.initial_error
+
+
+def print_error(
+    printed: np.ndarray, target: np.ndarray
+) -> float:
+    """Print error: fraction of pixels where print and target disagree."""
+    if printed.shape != target.shape:
+        raise ValueError("shape mismatch")
+    return float(np.mean(printed.astype(bool) ^ target.astype(bool)))
+
+
+def optimize_mask(
+    target: np.ndarray,
+    optical: OpticalModel,
+    resist: ThresholdResist,
+    pixel_nm: float,
+    config: OPCConfig | None = None,
+) -> OPCResult:
+    """Iteratively correct a mask so the printed image matches ``target``.
+
+    Parameters
+    ----------
+    target:
+        Binary (or antialiased) target pattern; also the initial mask.
+    optical / resist / pixel_nm:
+        The imaging stack to correct against.
+    """
+    config = config if config is not None else OPCConfig()
+    target_f = np.clip(np.asarray(target, dtype=np.float64), 0.0, 1.0)
+    target_b = target_f >= 0.5
+    mask = target_f.copy()
+
+    def simulate(m: np.ndarray) -> np.ndarray:
+        return optical.aerial_image(m, pixel_nm)
+
+    initial_error = print_error(resist.develop(simulate(mask)), target_b)
+    trace: list[float] = []
+    best_mask = mask.copy()
+    best_error = initial_error
+
+    for _ in range(config.iterations):
+        intensity = simulate(mask)
+        soft_print = 1.0 / (
+            1.0 + np.exp(-(intensity - resist.threshold) / config.slope)
+        )
+        correction = target_f - soft_print
+        if config.blur_px > 0:
+            correction = ndimage.gaussian_filter(correction, config.blur_px)
+        mask = np.clip(mask + config.step * correction, 0.0, 1.0)
+
+        error = print_error(resist.develop(simulate(mask)), target_b)
+        trace.append(error)
+        if error < best_error:
+            best_error = error
+            best_mask = mask.copy()
+
+    return OPCResult(
+        mask=best_mask,
+        error_trace=trace,
+        initial_error=initial_error,
+        final_error=best_error,
+    )

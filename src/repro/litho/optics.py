@@ -1,0 +1,128 @@
+"""Compact optical model for aerial-image simulation.
+
+The paper labels clips with commercial DUV/EUV lithography models.  Those
+are proprietary, so we substitute the standard compact form used in
+academic OPC/hotspot literature: a single-kernel (rank-1 SOCS) partially
+coherent imaging model.  The mask transmission is convolved with a
+Gaussian point-spread function whose width follows the Rayleigh resolution
+``k1 * wavelength / NA`` and grows with defocus; the aerial-image intensity
+is the squared magnitude of the filtered amplitude.
+
+This preserves the two behaviours active learning depends on:
+
+* marginal geometries (narrow necks, tight gaps near the resolution limit)
+  print marginally, so hotspot labels correlate with geometry; and
+* labeling is deterministic and expensive relative to inference, so the
+  litho-clip count (Definition 3) is the meaningful cost metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OpticalModel", "duv_model", "euv_model"]
+
+
+@dataclass(frozen=True)
+class OpticalModel:
+    """Rank-1 partially coherent imaging model.
+
+    Parameters
+    ----------
+    wavelength_nm:
+        Source wavelength (193 for DUV immersion, 13.5 for EUV).
+    na:
+        Numerical aperture of the projection optics.
+    k1:
+        Process difficulty factor; sets the PSF width together with
+        ``wavelength_nm / na``.
+    defocus_blur_nm_per_nm:
+        Extra PSF sigma added per nanometre of defocus.
+    """
+
+    wavelength_nm: float
+    na: float
+    k1: float = 0.61
+    defocus_blur_nm_per_nm: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0 or self.na <= 0 or self.k1 <= 0:
+            raise ValueError("optical parameters must be positive")
+
+    @property
+    def resolution_nm(self) -> float:
+        """Rayleigh resolution ``k1 * lambda / NA``."""
+        return self.k1 * self.wavelength_nm / self.na
+
+    def psf_sigma_nm(self, defocus_nm: float = 0.0) -> float:
+        """Gaussian PSF sigma in nm at the given defocus."""
+        base = self.resolution_nm / 2.0
+        return float(
+            np.hypot(base, self.defocus_blur_nm_per_nm * abs(defocus_nm))
+        )
+
+    def psf_kernel(self, pixel_nm: float, defocus_nm: float = 0.0) -> np.ndarray:
+        """Normalized Gaussian PSF sampled on the raster grid.
+
+        The kernel is truncated at 4 sigma and normalized to unit sum so a
+        fully dark/bright mask maps to intensity 0/1.
+        """
+        if pixel_nm <= 0:
+            raise ValueError(f"pixel size must be positive, got {pixel_nm}")
+        sigma_px = self.psf_sigma_nm(defocus_nm) / pixel_nm
+        sigma_px = max(sigma_px, 1e-3)
+        radius = max(int(np.ceil(4.0 * sigma_px)), 1)
+        axis = np.arange(-radius, radius + 1, dtype=np.float64)
+        gauss = np.exp(-0.5 * (axis / sigma_px) ** 2)
+        kernel = np.outer(gauss, gauss)
+        return kernel / kernel.sum()
+
+    def aerial_image(
+        self,
+        mask: np.ndarray,
+        pixel_nm: float,
+        defocus_nm: float = 0.0,
+        dose: float = 1.0,
+    ) -> np.ndarray:
+        """Aerial-image intensity of ``mask`` (values in [0, 1]).
+
+        Amplitude = PSF * mask (FFT convolution, reflective padding to
+        avoid dark halos at clip borders); intensity = dose * amplitude^2.
+        """
+        if mask.ndim != 2:
+            raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+        if dose <= 0:
+            raise ValueError(f"dose must be positive, got {dose}")
+        kernel = self.psf_kernel(pixel_nm, defocus_nm)
+        pad = kernel.shape[0] // 2
+        padded = np.pad(mask.astype(np.float64), pad, mode="reflect")
+        amplitude = _fft_convolve_valid(padded, kernel)
+        return dose * amplitude**2
+
+
+def _fft_convolve_valid(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """'Valid'-mode FFT convolution of a padded image with a kernel."""
+    out_h = image.shape[0] - kernel.shape[0] + 1
+    out_w = image.shape[1] - kernel.shape[1] + 1
+    shape = (
+        image.shape[0] + kernel.shape[0] - 1,
+        image.shape[1] + kernel.shape[1] - 1,
+    )
+    f_image = np.fft.rfft2(image, shape)
+    f_kernel = np.fft.rfft2(kernel, shape)
+    full = np.fft.irfft2(f_image * f_kernel, shape)
+    start_h = kernel.shape[0] - 1
+    start_w = kernel.shape[1] - 1
+    return full[start_h : start_h + out_h, start_w : start_w + out_w]
+
+
+def duv_model() -> OpticalModel:
+    """193 nm immersion lithography (ICCAD'12-era 28 nm metal)."""
+    return OpticalModel(wavelength_nm=193.0, na=1.35, k1=0.35)
+
+
+def euv_model() -> OpticalModel:
+    """13.5 nm EUV lithography (ICCAD'16-era 7 nm metal)."""
+    return OpticalModel(wavelength_nm=13.5, na=0.33, k1=0.45)

@@ -1,0 +1,259 @@
+"""The hotspot classifier: CNN + training loop + embedding access.
+
+:class:`HotspotClassifier` is the single object the active-learning
+framework interacts with.  It owns the network, the input scaler and the
+optimizer state, provides softmax probabilities (Eq. (4)), and exposes
+the L2-normalized FC-embedding features consumed by the diversity metric
+(Eqs. (7)–(8)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Adam, SoftmaxCrossEntropy, softmax
+from .cnn import build_hotspot_cnn, build_hotspot_mlp
+from .scaler import TensorScaler
+
+__all__ = ["HotspotClassifier"]
+
+
+class HotspotClassifier:
+    """Binary hotspot/non-hotspot CNN classifier.
+
+    Parameters
+    ----------
+    input_shape:
+        Feature tensor shape ``(C, H, W)``.
+    arch:
+        ``"cnn"`` (paper architecture) or ``"mlp"`` (fast variant).
+    lr / batch_size / epochs:
+        Optimization settings; ``epochs`` is the default for both initial
+        ``fit`` and incremental ``update`` calls.
+    class_weight:
+        ``"balanced"`` reweights classes inversely to their frequency in
+        each training call (essential on Table-I-style imbalance), or
+        ``None`` for plain cross-entropy.
+    seed:
+        Controls weight init and shuffling; Algorithm 2 line 3 initializes
+        ``w ~ N(0, sigma)``, realized here through the initializer rng.
+    augment:
+        When true, every training call expands its data with D4
+        orientation augmentation performed directly in the DCT domain
+        (see :mod:`repro.features.augment`); ``augment_block_size`` is
+        the DCT block size of the input tensors.
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int, int] = (32, 12, 12),
+        arch: str = "cnn",
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        epochs: int = 12,
+        class_weight: str | None = "balanced",
+        seed: int = 0,
+        augment: bool = False,
+        augment_block_size: int = 8,
+    ) -> None:
+        if arch not in ("cnn", "mlp"):
+            raise ValueError(f"arch must be 'cnn' or 'mlp', got {arch!r}")
+        self.input_shape = tuple(input_shape)
+        self.arch = arch
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.class_weight = class_weight
+        self.seed = seed
+        self.augment = augment
+        self.augment_block_size = augment_block_size
+
+        rng = np.random.default_rng(seed)
+        builder = build_hotspot_cnn if arch == "cnn" else build_hotspot_mlp
+        self.network, self._embedding_index = builder(self.input_shape, rng=rng)
+        self.scaler = TensorScaler()
+        self._optimizer = Adam(lr=lr)
+        self._shuffle_rng = np.random.default_rng(seed + 1)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit_scaler(self, pool_tensors: np.ndarray) -> None:
+        """Fit the input scaler on the (unlabeled) pool."""
+        self.scaler.fit(pool_tensors)
+
+    def _loss_for(self, y: np.ndarray) -> SoftmaxCrossEntropy:
+        if self.class_weight == "balanced":
+            counts = np.bincount(y, minlength=2).astype(np.float64)
+            counts[counts == 0] = 1.0
+            weights = counts.sum() / (2.0 * counts)
+            return SoftmaxCrossEntropy(class_weights=weights)
+        return SoftmaxCrossEntropy()
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int | None = None,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        patience: int | None = None,
+        min_delta: float = 0.0,
+    ) -> list[float]:
+        """Train on labeled tensors ``x`` (N, C, H, W) and labels ``y``.
+
+        Returns the per-epoch mean loss trace.  Requires ``fit_scaler``
+        to have been called (or fits it on ``x`` as a fallback).
+
+        With ``validation=(xv, yv)`` and ``patience``, training stops
+        early when validation loss fails to improve by more than
+        ``min_delta`` for ``patience`` consecutive epochs, and the
+        best-validation weights are restored.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"expected (N, {self.input_shape}), got {x.shape}"
+            )
+        if len(x) != len(y):
+            raise ValueError("x and y lengths differ")
+        if len(x) == 0:
+            raise ValueError("cannot train on empty data")
+        if patience is not None and validation is None:
+            raise ValueError("patience requires a validation set")
+        if self.scaler.mean_ is None:
+            self.scaler.fit(x)
+
+        if self.augment:
+            from ..features.augment import augmentation_batch
+
+            x, y = augmentation_batch(
+                x, y, block_size=self.augment_block_size
+            )
+
+        x = self.scaler.transform(x)
+        loss_fn = self._loss_for(y)
+        epochs = epochs if epochs is not None else self.epochs
+        trace: list[float] = []
+        n = len(x)
+
+        best_val = np.inf
+        best_weights = None
+        stale = 0
+        for _ in range(epochs):
+            order = self._shuffle_rng.permutation(n)
+            losses = []
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                logits = self.network.forward(x[batch], train=True)
+                losses.append(loss_fn(logits, y[batch]))
+                self.network.backward(loss_fn.backward())
+                self._optimizer.step(self.network.param_groups())
+            trace.append(float(np.mean(losses)))
+            self._fitted = True
+
+            if validation is not None:
+                val_loss = self.evaluate_loss(*validation)
+                if val_loss < best_val - min_delta:
+                    best_val = val_loss
+                    best_weights = self.network.get_weights()
+                    stale = 0
+                else:
+                    stale += 1
+                    if patience is not None and stale >= patience:
+                        break
+        if best_weights is not None:
+            self.network.set_weights(best_weights)
+        self._fitted = True
+        return trace
+
+    def evaluate_loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean (weighted) cross-entropy on held-out data."""
+        y = np.asarray(y, dtype=np.int64)
+        logits = self.predict_logits(np.asarray(x, dtype=np.float64))
+        return self._loss_for(y)(logits, y)
+
+    def update(
+        self, x: np.ndarray, y: np.ndarray, epochs: int | None = None
+    ) -> list[float]:
+        """Fine-tune on the enlarged training set (Algorithm 2, line 12).
+
+        Warm-start continuation of ``fit``: weights and optimizer state
+        are kept, so each active-learning round adjusts rather than
+        retrains the model.
+        """
+        return self.fit(x, y, epochs=epochs)
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("classifier is not trained")
+
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        x = self.scaler.transform(np.asarray(x, dtype=np.float64))
+        return self.network.predict_logits(x, batch_size=max(self.batch_size, 128))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Uncalibrated softmax probabilities (Eq. (4))."""
+        return softmax(self.predict_logits(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_logits(x).argmax(axis=1)
+
+    def embeddings(self, x: np.ndarray, normalize: bool = True) -> np.ndarray:
+        """FC-layer embedding features for the diversity metric.
+
+        L2-normalized by default so that the inner-product distance of
+        Eq. (8) lies in [0, 2] (practically [0, 1] for ReLU features).
+        """
+        self._check_fitted()
+        x = self.scaler.transform(np.asarray(x, dtype=np.float64))
+        outputs = []
+        step = max(self.batch_size, 128)
+        for start in range(0, len(x), step):
+            outputs.append(
+                self.network.forward_to(x[start : start + step],
+                                        self._embedding_index)
+            )
+        features = np.concatenate(outputs, axis=0)
+        if normalize:
+            norms = np.linalg.norm(features, axis=1, keepdims=True)
+            features = features / np.maximum(norms, 1e-12)
+        return features
+
+    def clone_untrained(self) -> "HotspotClassifier":
+        """Fresh classifier with identical hyperparameters (new weights)."""
+        return HotspotClassifier(
+            input_shape=self.input_shape,
+            arch=self.arch,
+            lr=self.lr,
+            batch_size=self.batch_size,
+            epochs=self.epochs,
+            class_weight=self.class_weight,
+            seed=self.seed,
+            augment=self.augment,
+            augment_block_size=self.augment_block_size,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        self._check_fitted()
+        payload = self.network.get_weights()
+        payload["scaler.mean"] = self.scaler.mean_
+        payload["scaler.std"] = self.scaler.std_
+        np.savez_compressed(path, **payload)
+
+    def load(self, path) -> None:
+        with np.load(path) as archive:
+            weights = {k: archive[k] for k in archive.files
+                       if not k.startswith("scaler.")}
+            self.network.set_weights(weights)
+            self.scaler.mean_ = archive["scaler.mean"]
+            self.scaler.std_ = archive["scaler.std"]
+        self._fitted = True

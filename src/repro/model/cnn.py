@@ -1,0 +1,87 @@
+"""Hotspot CNN architectures.
+
+The paper's learning engine follows the Yang et al. hotspot-CNN lineage:
+four 3x3 convolution layers in two pooled stages over the DCT tensor,
+then a 250-unit fully-connected embedding layer whose activations feed
+the diversity metric (Eq. (7)), and a 2-way softmax head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import BatchNorm, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+__all__ = ["build_hotspot_cnn", "build_hotspot_mlp", "EMBEDDING_DIM"]
+
+#: width of the fully-connected embedding layer (Yang et al. use FC-250)
+EMBEDDING_DIM = 250
+
+
+def build_hotspot_cnn(
+    input_shape: tuple[int, int, int] = (32, 12, 12),
+    rng: np.random.Generator | None = None,
+    embedding_dim: int = EMBEDDING_DIM,
+    base_channels: int = 16,
+    batch_norm: bool = False,
+) -> tuple[Sequential, int]:
+    """Build the hotspot CNN.
+
+    Returns ``(network, embedding_layer_index)`` — the index selects the
+    post-ReLU output of the FC embedding layer for ``forward_to``.
+    With ``batch_norm=True`` each conv block gets a BatchNorm before its
+    ReLU (faster convergence on deeper runs, at extra compute).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    channels, height, width = input_shape
+    if height % 4 or width % 4:
+        raise ValueError(
+            f"spatial dims must be divisible by 4 for two pools, got {input_shape}"
+        )
+    c1, c2 = base_channels, base_channels * 2
+    flat = c2 * (height // 4) * (width // 4)
+
+    def block(c_in: int, c_out: int) -> list:
+        conv = [Conv2D(c_in, c_out, kernel_size=3, pad=1, rng=rng)]
+        if batch_norm:
+            conv.append(BatchNorm(c_out))
+        conv.append(ReLU())
+        return conv
+
+    layers = (
+        block(channels, c1)
+        + block(c1, c1)
+        + [MaxPool2D(2)]
+        + block(c1, c2)
+        + block(c2, c2)
+        + [MaxPool2D(2), Flatten(),
+           Dense(flat, embedding_dim, rng=rng), ReLU(),
+           Dense(embedding_dim, 2, rng=rng)]
+    )
+    network = Sequential(layers)
+    embedding_index = len(layers) - 2  # the ReLU after the FC embedding
+    return network, embedding_index
+
+
+def build_hotspot_mlp(
+    input_shape: tuple[int, int, int] = (32, 12, 12),
+    rng: np.random.Generator | None = None,
+    hidden: int = 64,
+    embedding_dim: int = 32,
+) -> tuple[Sequential, int]:
+    """A lightweight MLP alternative with the same interface.
+
+    Useful for fast experiments and tests; same (network, embedding
+    index) contract as :func:`build_hotspot_cnn`.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    flat = int(np.prod(input_shape))
+    layers = [
+        Flatten(),
+        Dense(flat, hidden, rng=rng),
+        ReLU(),
+        Dense(hidden, embedding_dim, rng=rng),
+        ReLU(),
+        Dense(embedding_dim, 2, rng=rng),
+    ]
+    return Sequential(layers), len(layers) - 2

@@ -1,0 +1,106 @@
+"""Committee (ensemble) hotspot classifier.
+
+Query-by-committee is the classic alternative to single-model
+uncertainty: train ``size`` differently-seeded networks and measure
+their disagreement.  :class:`CommitteeClassifier` exposes the same
+interface as :class:`~repro.model.classifier.HotspotClassifier`, so it
+drops into the PSHD framework unchanged — mean logits give calibrated
+probabilities, and :meth:`vote_entropy` / :meth:`disagreement` provide
+committee-specific uncertainty for custom selectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classifier import HotspotClassifier
+
+__all__ = ["CommitteeClassifier"]
+
+
+class CommitteeClassifier:
+    """An ensemble of :class:`HotspotClassifier` members.
+
+    Members share hyperparameters but differ in weight-init and
+    shuffling seeds, the standard recipe for committee diversity.
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int, int],
+        size: int = 3,
+        arch: str = "mlp",
+        lr: float = 1e-3,
+        epochs: int = 12,
+        class_weight: str | None = "balanced",
+        seed: int = 0,
+    ) -> None:
+        if size < 2:
+            raise ValueError(f"committee size must be >= 2, got {size}")
+        self.input_shape = tuple(input_shape)
+        self.members = [
+            HotspotClassifier(
+                input_shape=input_shape,
+                arch=arch,
+                lr=lr,
+                epochs=epochs,
+                class_weight=class_weight,
+                seed=seed + 1000 * i,
+            )
+            for i in range(size)
+        ]
+
+    # -- HotspotClassifier-compatible surface ---------------------------
+    def fit_scaler(self, pool_tensors: np.ndarray) -> None:
+        for member in self.members:
+            member.fit_scaler(pool_tensors)
+
+    def fit(self, x, y, epochs: int | None = None) -> list[float]:
+        traces = [m.fit(x, y, epochs=epochs) for m in self.members]
+        return list(np.mean(traces, axis=0))
+
+    def update(self, x, y, epochs: int | None = None) -> list[float]:
+        traces = [m.update(x, y, epochs=epochs) for m in self.members]
+        return list(np.mean(traces, axis=0))
+
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        """Mean member logits (the committee's consensus score)."""
+        return np.mean([m.predict_logits(x) for m in self.members], axis=0)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Mean member probabilities (soft vote)."""
+        return np.mean([m.predict_proba(x) for m in self.members], axis=0)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority hard vote."""
+        votes = np.stack([m.predict(x) for m in self.members])
+        return (votes.mean(axis=0) > 0.5).astype(np.int64)
+
+    def embeddings(self, x: np.ndarray, normalize: bool = True) -> np.ndarray:
+        """Embeddings of the first member (diversity metric input)."""
+        return self.members[0].embeddings(x, normalize=normalize)
+
+    def clone_untrained(self) -> "CommitteeClassifier":
+        first = self.members[0]
+        return CommitteeClassifier(
+            input_shape=self.input_shape,
+            size=len(self.members),
+            arch=first.arch,
+            lr=first.lr,
+            epochs=first.epochs,
+            class_weight=first.class_weight,
+            seed=first.seed,
+        )
+
+    # -- committee-specific uncertainty ---------------------------------
+    def vote_entropy(self, x: np.ndarray) -> np.ndarray:
+        """Hard-vote entropy in nats: 0 = unanimous, ln 2 = even split."""
+        votes = np.stack([m.predict(x) for m in self.members])  # (E, N)
+        p_hot = votes.mean(axis=0)
+        p = np.clip(np.column_stack([1 - p_hot, p_hot]), 1e-12, 1.0)
+        return -(p * np.log(p)).sum(axis=1)
+
+    def disagreement(self, x: np.ndarray) -> np.ndarray:
+        """Std-dev of member hotspot probabilities (soft disagreement)."""
+        probs = np.stack([m.predict_proba(x)[:, 1] for m in self.members])
+        return probs.std(axis=0)

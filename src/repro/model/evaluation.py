@@ -1,0 +1,149 @@
+"""Classifier evaluation metrics.
+
+Detector-quality metrics beyond the paper's PSHD accuracy: confusion
+counts, precision/recall/F1, ROC and precision-recall curves with exact
+trapezoidal AUC — used by the extended benches and by downstream users
+tuning detection thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "roc_curve",
+    "pr_curve",
+    "auc",
+    "classification_report",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts (positive class = hotspot = 1)."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """FPR — the 'false alarm issue' the hotspot literature tracks."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+
+def _validate(y_true: np.ndarray, other: np.ndarray, name: str) -> None:
+    if y_true.shape != other.shape:
+        raise ValueError(f"y_true and {name} shapes differ")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+
+
+def confusion_matrix(y_true, y_pred) -> ConfusionMatrix:
+    """Binary confusion matrix from integer labels/predictions."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    _validate(y_true, y_pred, "y_pred")
+    return ConfusionMatrix(
+        tp=int(((y_pred == 1) & (y_true == 1)).sum()),
+        fp=int(((y_pred == 1) & (y_true == 0)).sum()),
+        tn=int(((y_pred == 0) & (y_true == 0)).sum()),
+        fn=int(((y_pred == 0) & (y_true == 1)).sum()),
+    )
+
+
+def roc_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds), thresholds descending.
+
+    Standard construction: sweep the score threshold through every
+    distinct score; the curve starts at (0, 0) and ends at (1, 1).
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    _validate(y_true, scores, "scores")
+    n_pos = int((y_true == 1).sum())
+    n_neg = int((y_true == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve requires both classes present")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+    tps = np.cumsum(sorted_true == 1)
+    fps = np.cumsum(sorted_true == 0)
+    # keep only the last index of each distinct score (threshold steps)
+    distinct = np.r_[np.diff(sorted_scores) != 0, True]
+    tpr = np.r_[0.0, tps[distinct] / n_pos]
+    fpr = np.r_[0.0, fps[distinct] / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[distinct]]
+    return fpr, tpr, thresholds
+
+
+def pr_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(precision, recall, thresholds), thresholds descending."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    _validate(y_true, scores, "scores")
+    n_pos = int((y_true == 1).sum())
+    if n_pos == 0:
+        raise ValueError("pr_curve requires positive samples")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+    tps = np.cumsum(sorted_true == 1)
+    predicted = np.arange(1, len(sorted_true) + 1)
+    distinct = np.r_[np.diff(sorted_scores) != 0, True]
+    precision = tps[distinct] / predicted[distinct]
+    recall = tps[distinct] / n_pos
+    return precision, recall, sorted_scores[distinct]
+
+
+def auc(x: np.ndarray, y: np.ndarray) -> float:
+    """Trapezoidal area under a curve given by (x, y) points."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("auc needs matching arrays of length >= 2")
+    order = np.argsort(x, kind="stable")
+    return float(np.trapezoid(y[order], x[order]))
+
+
+def classification_report(y_true, y_pred) -> str:
+    """Human-readable summary of binary detector quality."""
+    cm = confusion_matrix(y_true, y_pred)
+    return (
+        f"tp={cm.tp} fp={cm.fp} tn={cm.tn} fn={cm.fn}\n"
+        f"accuracy={cm.accuracy:.4f} precision={cm.precision:.4f} "
+        f"recall={cm.recall:.4f} f1={cm.f1:.4f} "
+        f"false_alarm_rate={cm.false_alarm_rate:.4f}"
+    )

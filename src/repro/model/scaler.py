@@ -1,0 +1,39 @@
+"""Per-channel standardization of DCT feature tensors.
+
+DCT coefficients have wildly different scales (the DC channel is an
+order of magnitude larger than high-frequency channels), so the CNN
+trains on standardized tensors.  The scaler is fitted once on the
+*unlabeled* pool — an unsupervised statistic, so no label leakage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TensorScaler"]
+
+
+class TensorScaler:
+    """Standardize ``(N, C, H, W)`` tensors per channel."""
+
+    def __init__(self, eps: float = 1e-8) -> None:
+        self.eps = eps
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "TensorScaler":
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W), got {x.shape}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean_ = x.mean(axis=(0, 2, 3), keepdims=True)[0]
+        self.std_ = x.std(axis=(0, 2, 3), keepdims=True)[0] + self.eps
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("TensorScaler is not fitted")
+        return (x - self.mean_[None]) / self.std_[None]
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

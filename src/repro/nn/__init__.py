@@ -1,0 +1,61 @@
+"""Pure-numpy neural-network engine (substrate S1).
+
+The paper trains its hotspot CNN with TensorFlow on a GPU; this package
+provides the equivalent mathematical machinery — convolutional and dense
+layers with exact backpropagation, losses, and optimizers — with no
+dependency beyond numpy.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .im2col import col2im, conv_output_size, im2col
+from .initializers import get_initializer
+from .layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool2D,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .losses import SoftmaxCrossEntropy, log_softmax, softmax
+from .network import Sequential
+from .optim import SGD, Adam, Momentum, Optimizer
+from .schedulers import CosineAnnealing, LinearWarmup, Scheduler, StepDecay
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "get_initializer",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAveragePool2D",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm",
+    "softmax",
+    "log_softmax",
+    "SoftmaxCrossEntropy",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "Scheduler",
+    "StepDecay",
+    "CosineAnnealing",
+    "LinearWarmup",
+]

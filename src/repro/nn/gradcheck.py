@@ -1,0 +1,82 @@
+"""Numerical gradient checking used by the test suite.
+
+Central differences on a handful of randomly chosen coordinates keep the
+check cheap while still catching systematically wrong backward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["numeric_gradient", "check_layer_gradients"]
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` with respect to ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = fn()
+        x[idx] = orig - eps
+        minus = fn()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_layer_gradients(
+    layer: Layer,
+    x: np.ndarray,
+    rng: np.random.Generator,
+    eps: float = 1e-5,
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic gradients of ``layer`` match numerical ones.
+
+    Uses the scalar objective ``sum(forward(x) * r)`` with a fixed random
+    ``r`` so every output coordinate contributes to the check.
+
+    Raises :class:`AssertionError` with a diagnostic message on mismatch.
+    """
+    x = x.astype(np.float64)
+    out = layer.forward(x, train=True)
+    r = rng.normal(size=out.shape)
+
+    def objective() -> float:
+        return float((layer.forward(x, train=True) * r).sum())
+
+    # analytic input gradient (re-run forward so caches match r's shape)
+    layer.forward(x, train=True)
+    grad_x = layer.backward(r.copy())
+    analytic = {"__input__": grad_x}
+    analytic.update({name: g.copy() for name, g in layer.grads().items()})
+
+    num_x = numeric_gradient(objective, x, eps=eps)
+    _assert_close("input", analytic["__input__"], num_x, atol, rtol)
+
+    for name, param in layer.params().items():
+        num_p = numeric_gradient(objective, param, eps=eps)
+        # numeric perturbation invalidated caches; restore analytic state
+        layer.forward(x, train=True)
+        layer.backward(r.copy())
+        _assert_close(name, layer.grads()[name], num_p, atol, rtol)
+
+
+def _assert_close(
+    name: str, analytic: np.ndarray, numeric: np.ndarray, atol: float, rtol: float
+) -> None:
+    diff = np.abs(analytic - numeric)
+    tol = atol + rtol * np.abs(numeric)
+    if not np.all(diff <= tol):
+        worst = float(diff.max())
+        raise AssertionError(
+            f"gradient mismatch for {name}: max abs diff {worst:.3e} "
+            f"(atol={atol}, rtol={rtol})"
+        )

@@ -1,0 +1,93 @@
+"""im2col / col2im transformations for fast convolution on CPU.
+
+Convolution is implemented as one large matrix multiplication: the input
+tensor is unfolded so every receptive field becomes a row (``im2col``), the
+kernel bank becomes a matrix, and the product yields all output pixels at
+once.  ``col2im`` is the exact adjoint used during backpropagation.
+
+All tensors use the NCHW layout: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis.
+
+    Raises :class:`ValueError` when the configuration produces a
+    non-positive or non-integral output extent.
+    """
+    if kernel <= 0 or stride <= 0:
+        raise ValueError(f"kernel and stride must be positive, got {kernel}, {stride}")
+    if pad < 0:
+        raise ValueError(f"pad must be non-negative, got {pad}")
+    span = size + 2 * pad - kernel
+    if span < 0:
+        raise ValueError(
+            f"kernel {kernel} larger than padded input {size + 2 * pad}"
+        )
+    if span % stride != 0:
+        raise ValueError(
+            f"convolution does not tile: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return span // stride + 1
+
+
+def im2col(
+    images: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold ``images`` (N, C, H, W) into a 2-D matrix of receptive fields.
+
+    Returns an array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
+    where each row is one flattened receptive field.
+    """
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    if pad > 0:
+        images = np.pad(
+            images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = images[:, :, ky:y_max:stride, kx:x_max:stride]
+
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: fold column matrix back, summing overlaps."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
+    cols = cols.transpose(0, 3, 4, 5, 1, 2)
+
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded

@@ -1,0 +1,86 @@
+"""Weight initialization schemes.
+
+Every initializer takes an explicit :class:`numpy.random.Generator` so that
+training runs are reproducible end to end; nothing in this package touches
+numpy's global random state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normal_init",
+    "xavier_uniform",
+    "xavier_normal",
+    "he_uniform",
+    "he_normal",
+    "zeros_init",
+]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in / fan-out for dense ``(in, out)`` or conv ``(F, C, KH, KW)``."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def normal_init(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01
+) -> np.ndarray:
+    """Plain Gaussian init, the w ~ N(0, sigma) of Algorithm 2 line 3."""
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fan(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He init, the default for ReLU networks in this package."""
+    fan_in, _ = _fan(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def zeros_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    del rng  # signature kept uniform with the random initializers
+    return np.zeros(shape, dtype=np.float64)
+
+
+INITIALIZERS = {
+    "normal": normal_init,
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name, raising with the known names on miss."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; known: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,531 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Each layer caches whatever it needs during ``forward`` and consumes the
+cache in ``backward``.  Parameters and their gradients are exposed through
+``params()`` / ``grads()`` so optimizers can update them in place.
+
+Layers distinguish training and inference through the ``train`` flag on
+``forward`` (Dropout and BatchNorm change behaviour; the rest ignore it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .im2col import col2im, conv_output_size, im2col
+from .initializers import get_initializer
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAveragePool2D",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm",
+]
+
+
+class Layer:
+    """Base class: stateless identity layer."""
+
+    #: human-readable layer kind used in reprs and serialization
+    kind = "identity"
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        del train
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable parameters by name (possibly empty)."""
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` keys (valid after backward)."""
+        return {}
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Non-trainable buffers that must survive save/load."""
+        return {}
+
+    def output_dim(self, input_dim):
+        """Propagate a symbolic input shape (without batch axis)."""
+        return input_dim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x W + b``."""
+
+    kind = "dense"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        init: str = "he_normal",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = get_initializer(init)((in_features, out_features), rng)
+        self.bias = np.zeros(out_features, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x if train else None
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a training forward pass")
+        self.grad_weight = self._x.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+    def output_dim(self, input_dim):
+        return (self.out_features,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class Conv2D(Layer):
+    """2-D convolution over NCHW tensors, implemented with im2col."""
+
+    kind = "conv2d"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        pad: int = 0,
+        rng: np.random.Generator | None = None,
+        init: str = "he_normal",
+    ) -> None:
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("Conv2D channel counts must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = get_initializer(init)(shape, rng)
+        self.bias = np.zeros(out_channels, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cols: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.pad
+        out_h = conv_output_size(h, k, s, p)
+        out_w = conv_output_size(w, k, s, p)
+
+        cols = im2col(x, k, k, s, p)
+        flat_w = self.weight.reshape(self.out_channels, -1)
+        out = cols @ flat_w.T + self.bias
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+        if train:
+            self._cols = cols
+            self._input_shape = x.shape
+        else:
+            self._cols = None
+            self._input_shape = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        # (N, F, OH, OW) -> (N*OH*OW, F) matching the im2col row order
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        self.grad_bias = grad_flat.sum(axis=0)
+        self.grad_weight = (grad_flat.T @ self._cols).reshape(self.weight.shape)
+        grad_cols = grad_flat @ self.weight.reshape(self.out_channels, -1)
+        return col2im(grad_cols, self._input_shape, k, k, s, p)
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+    def output_dim(self, input_dim):
+        c, h, w = input_dim
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        return (
+            self.out_channels,
+            conv_output_size(h, k, s, p),
+            conv_output_size(w, k, s, p),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.pad})"
+        )
+
+
+class MaxPool2D(Layer):
+    """Max pooling with square window; window must tile the input."""
+
+    kind = "maxpool2d"
+
+    def __init__(self, pool_size: int = 2, stride: int | None = None) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        self._argmax: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.pool_size, self.stride
+        out_h = conv_output_size(h, k, s, 0)
+        out_w = conv_output_size(w, k, s, 0)
+
+        # Treat channels as independent images so im2col rows are per-channel
+        cols = im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        out = out.reshape(n, c, out_h, out_w)
+
+        if train:
+            self._argmax = argmax
+            self._cols_shape = cols.shape
+            self._input_shape = x.shape
+        else:
+            self._argmax = None
+            self._input_shape = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._input_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, c, h, w = self._input_shape
+        k, s = self.pool_size, self.stride
+
+        grad_cols = np.zeros(self._cols_shape, dtype=grad_out.dtype)
+        grad_cols[np.arange(grad_cols.shape[0]), self._argmax] = grad_out.reshape(-1)
+        grad = col2im(grad_cols, (n * c, 1, h, w), k, k, s, 0)
+        return grad.reshape(n, c, h, w)
+
+    def output_dim(self, input_dim):
+        c, h, w = input_dim
+        k, s = self.pool_size, self.stride
+        return (c, conv_output_size(h, k, s, 0), conv_output_size(w, k, s, 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxPool2D({self.pool_size})"
+
+
+class AvgPool2D(Layer):
+    """Average pooling with a square window; window must tile the input."""
+
+    kind = "avgpool2d"
+
+    def __init__(self, pool_size: int = 2) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.pool_size
+        if h % k or w % k:
+            raise ValueError(
+                f"pool size {k} does not tile input {h}x{w}"
+            )
+        if train:
+            self._input_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, c, h, w = self._input_shape
+        k = self.pool_size
+        grad = grad_out[:, :, :, None, :, None] / float(k * k)
+        grad = np.broadcast_to(grad, (n, c, h // k, k, w // k, k))
+        return grad.reshape(n, c, h, w).copy()
+
+    def output_dim(self, input_dim):
+        c, h, w = input_dim
+        k = self.pool_size
+        return (c, h // k, w // k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AvgPool2D({self.pool_size})"
+
+
+class GlobalAveragePool2D(Layer):
+    """Average each channel's spatial plane down to one value."""
+
+    kind = "gap2d"
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if train:
+            self._input_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        n, c, h, w = self._input_shape
+        grad = grad_out[:, :, None, None] / float(h * w)
+        return np.broadcast_to(grad, (n, c, h, w)).copy()
+
+    def output_dim(self, input_dim):
+        c, _, _ = input_dim
+        return (c,)
+
+
+class Flatten(Layer):
+    """Collapse all non-batch axes into one."""
+
+    kind = "flatten"
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if train:
+            self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out.reshape(self._input_shape)
+
+    def output_dim(self, input_dim):
+        return (int(np.prod(input_dim)),)
+
+
+class ReLU(Layer):
+    kind = "relu"
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        mask = x > 0
+        if train:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    kind = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        mask = x > 0
+        if train:
+            self._mask = mask
+        return np.where(mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * np.where(self._mask, 1.0, self.alpha)
+
+
+class Sigmoid(Layer):
+    kind = "sigmoid"
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        expx = np.exp(x[~pos])
+        out[~pos] = expx / (1.0 + expx)
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    kind = "tanh"
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout: identity at inference, scaled mask during training."""
+
+    kind = "dropout"
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if not train or self.rate == 0.0:
+            self._mask = None if not train else np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a training forward pass")
+        return grad_out * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature axis of 2-D inputs.
+
+    For 4-D inputs the statistics are taken per channel over (N, H, W).
+    """
+
+    kind = "batchnorm"
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(num_features, dtype=np.float64)
+        self.beta = np.zeros(num_features, dtype=np.float64)
+        self.grad_gamma = np.zeros_like(self.gamma)
+        self.grad_beta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self._cache = None
+
+    def _reshape_params(self, ndim: int) -> tuple[np.ndarray, np.ndarray]:
+        if ndim == 4:
+            return (
+                self.gamma.reshape(1, -1, 1, 1),
+                self.beta.reshape(1, -1, 1, 1),
+            )
+        return self.gamma, self.beta
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        axes = (0,) if x.ndim == 2 else (0, 2, 3)
+        gamma, beta = self._reshape_params(x.ndim)
+        if train:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            norm = (x - mean) / np.sqrt(var + self.eps)
+            count = x.size // self.num_features
+            unbiased = var * count / max(count - 1, 1)
+            self.running_mean = (
+                self.momentum * self.running_mean
+                + (1 - self.momentum) * mean.reshape(-1)
+            )
+            self.running_var = (
+                self.momentum * self.running_var
+                + (1 - self.momentum) * unbiased.reshape(-1)
+            )
+            self._cache = (norm, var, axes, x.shape)
+            return gamma * norm + beta
+        shape = [1] * x.ndim
+        shape[1 if x.ndim == 4 else -1] = self.num_features
+        mean = self.running_mean.reshape(shape)
+        var = self.running_var.reshape(shape)
+        return gamma * (x - mean) / np.sqrt(var + self.eps) + beta
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called without a training forward pass")
+        norm, var, axes, shape = self._cache
+        gamma, _ = self._reshape_params(grad_out.ndim)
+        m = float(np.prod([shape[a] for a in axes]))
+
+        self.grad_gamma = (grad_out * norm).sum(axis=axes).reshape(-1)
+        self.grad_beta = grad_out.sum(axis=axes).reshape(-1)
+
+        grad_norm = grad_out * gamma
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        grad = (
+            grad_norm
+            - grad_norm.mean(axis=axes, keepdims=True)
+            - norm * (grad_norm * norm).mean(axis=axes, keepdims=True)
+        ) * inv_std
+        return grad
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.grad_gamma, "beta": self.grad_beta}
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean, "running_var": self.running_var}

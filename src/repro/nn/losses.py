@@ -1,0 +1,84 @@
+"""Loss functions and numerically stable softmax utilities.
+
+The softmax here is the *uncalibrated* training softmax (Eq. (4) of the
+paper).  The temperature-scaled variant (Eq. (5)) lives in
+:mod:`repro.calibration.temperature`, since calibration is a post-processing
+step that never feeds back into training gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "SoftmaxCrossEntropy",
+]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis`` (Eq. (4))."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+class SoftmaxCrossEntropy:
+    """Softmax cross-entropy with optional per-class weights.
+
+    Hotspot datasets are heavily imbalanced (Table I: ICCAD12 has a 1:43
+    hotspot-to-non-hotspot ratio), so the loss supports class weighting to
+    keep the minority class from being ignored during training.
+    """
+
+    def __init__(self, class_weights: np.ndarray | None = None) -> None:
+        self.class_weights = (
+            np.asarray(class_weights, dtype=np.float64)
+            if class_weights is not None
+            else None
+        )
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean (weighted) cross-entropy of integer ``labels``."""
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, C) logits, got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+            )
+        n, c = logits.shape
+        if labels.min() < 0 or labels.max() >= c:
+            raise ValueError(f"labels out of range for {c} classes")
+
+        log_p = log_softmax(logits)
+        picked = log_p[np.arange(n), labels]
+        if self.class_weights is not None:
+            weights = self.class_weights[labels]
+        else:
+            weights = np.ones(n, dtype=np.float64)
+
+        self._cache = (softmax(logits), labels, weights)
+        return float(-(weights * picked).sum() / weights.sum())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, labels, weights = self._cache
+        n, _ = probs.shape
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        grad *= weights[:, None]
+        return grad / weights.sum()
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)

@@ -1,0 +1,127 @@
+"""Sequential network container.
+
+A :class:`Sequential` chains layers, drives forward/backward passes, feeds
+optimizers, and supports tapping intermediate activations — the active
+learning diversity metric (Eq. (7)) needs the penultimate fully-connected
+features, not the logits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A plain feed-forward stack of :class:`~repro.nn.layers.Layer`."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers: list[Layer] = list(layers)
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def forward_to(self, x: np.ndarray, layer_index: int) -> np.ndarray:
+        """Run inference up to and including ``layer_index`` (negative ok).
+
+        Used to extract embedding features from an intermediate layer.
+        """
+        stop = layer_index % len(self.layers)
+        for i, layer in enumerate(self.layers):
+            x = layer.forward(x, train=False)
+            if i == stop:
+                return x
+        raise IndexError(f"layer index {layer_index} out of range")
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        return self.forward(x, train=train)
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    def param_groups(self) -> Iterator[tuple[tuple[int, str], np.ndarray, np.ndarray]]:
+        """Yield ``(slot_key, param, grad)`` triples for optimizers."""
+        for i, layer in enumerate(self.layers):
+            params = layer.params()
+            grads = layer.grads()
+            for name, param in params.items():
+                yield (i, name), param, grads[name]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for _, p, _ in self.param_groups())
+
+    def get_weights(self) -> dict[str, np.ndarray]:
+        """Copy all parameters and buffers into a flat dict."""
+        out: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, param in layer.params().items():
+                out[f"{i}.{name}"] = param.copy()
+            for name, buf in layer.state().items():
+                out[f"{i}.state.{name}"] = buf.copy()
+        return out
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Load parameters and buffers from :meth:`get_weights` output."""
+        seen = set()
+        for i, layer in enumerate(self.layers):
+            for name, param in layer.params().items():
+                key = f"{i}.{name}"
+                if key not in weights:
+                    raise KeyError(f"missing weight {key}")
+                value = np.asarray(weights[key])
+                if value.shape != param.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: {value.shape} vs {param.shape}"
+                    )
+                param[...] = value
+                seen.add(key)
+            for name in layer.state():
+                key = f"{i}.state.{name}"
+                if key not in weights:
+                    raise KeyError(f"missing buffer {key}")
+                layer.state()[name][...] = np.asarray(weights[key])
+                seen.add(key)
+        extra = set(weights) - seen
+        if extra:
+            raise KeyError(f"unused weights: {sorted(extra)}")
+
+    # ------------------------------------------------------------------
+    # inference helpers
+    # ------------------------------------------------------------------
+    def predict_logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Batched inference returning raw logits."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size], train=False))
+        return np.concatenate(outputs, axis=0)
+
+    def save(self, path) -> None:
+        """Serialize all weights and buffers to an ``.npz`` archive."""
+        np.savez_compressed(path, **self.get_weights())
+
+    def load(self, path) -> None:
+        """Restore weights saved by :meth:`save` into this architecture."""
+        with np.load(path) as archive:
+            self.set_weights({k: archive[k] for k in archive.files})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"

@@ -1,0 +1,104 @@
+"""Gradient-based optimizers.
+
+Optimizers hold per-parameter slot state keyed by ``(layer index, name)``
+and update parameter arrays **in place**, so the network's layers always
+see the latest weights without re-wiring references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over a list of (params, grads) dict pairs."""
+
+    def __init__(self, lr: float = 0.01, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self, param_groups) -> None:
+        """Apply one update. ``param_groups`` is an iterable of
+        ``(slot_key, param_array, grad_array)`` triples."""
+        for key, param, grad in param_groups:
+            if self.weight_decay and param.ndim > 1:
+                grad = grad + self.weight_decay * param
+            self._update(key, param, grad)
+
+    def _update(self, key, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    def _update(self, key, param: np.ndarray, grad: np.ndarray) -> None:
+        param -= self.lr * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(
+        self, lr: float = 0.01, momentum: float = 0.9, weight_decay: float = 0.0
+    ) -> None:
+        super().__init__(lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict = {}
+
+    def _update(self, key, param: np.ndarray, grad: np.ndarray) -> None:
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(param)
+        v = self.momentum * v - self.lr * grad
+        self._velocity[key] = v
+        param += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(lr, weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict = {}
+        self._v: dict = {}
+        self._t: dict = {}
+
+    def _update(self, key, param: np.ndarray, grad: np.ndarray) -> None:
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            self._v[key] = np.zeros_like(param)
+            self._t[key] = 0
+        v = self._v[key]
+        self._t[key] += 1
+        t = self._t[key]
+
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,92 @@
+"""Learning-rate schedules.
+
+Schedulers mutate an optimizer's ``lr`` in place at epoch boundaries;
+``step()`` advances the internal epoch counter and returns the new rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "StepDecay", "CosineAnnealing", "LinearWarmup"]
+
+
+class Scheduler:
+    """Base scheduler bound to one optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the learning rate now in effect."""
+        self.epoch += 1
+        lr = self._rate(self.epoch)
+        if lr <= 0:
+            raise ValueError(f"scheduler produced non-positive lr {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+    def _rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepDecay(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10,
+                 gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``t_max``."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 min_lr: float = 1e-6) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        if min_lr <= 0:
+            raise ValueError(f"min_lr must be positive, got {min_lr}")
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def _rate(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + np.cos(np.pi * progress)
+        )
+
+
+class LinearWarmup(Scheduler):
+    """Ramp linearly from ``start_factor * base`` to the base rate over
+    ``warmup_epochs``, then hold."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int = 5,
+                 start_factor: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError("warmup_epochs must be positive")
+        if not 0.0 < start_factor <= 1.0:
+            raise ValueError("start_factor must be in (0, 1]")
+        self.warmup_epochs = warmup_epochs
+        self.start_factor = start_factor
+
+    def _rate(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        frac = epoch / self.warmup_epochs
+        return self.base_lr * (self.start_factor + (1 - self.start_factor) * frac)

@@ -1,0 +1,162 @@
+"""Diagonal-covariance Gaussian Mixture Model fitted with EM.
+
+Algorithm 2 of the paper seeds and drives query-set formation from "the
+posterior probabilities of the unlabeled dataset" under a GMM: patterns
+with the *lowest* probability under the fitted mixture are the rare,
+hotspot-like ones that get queried first.  scikit-learn is not available
+offline, so this is a from-scratch EM implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianMixture"]
+
+
+class GaussianMixture:
+    """GMM with diagonal covariances.
+
+    Parameters
+    ----------
+    n_components:
+        Mixture size.
+    max_iter / tol:
+        EM stopping criteria (iterations / log-likelihood improvement).
+    reg_covar:
+        Variance floor added to every dimension for numerical stability.
+    seed:
+        Seed for the k-means++-style mean initialization.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-4,
+        reg_covar: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_components <= 0:
+            raise ValueError(f"n_components must be positive, got {n_components}")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.converged_ = False
+        self.n_iter_ = 0
+        self._log_density_ref_: float | None = None
+
+    # ------------------------------------------------------------------
+    def _init_means(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding of component means."""
+        n = x.shape[0]
+        means = [x[rng.integers(n)]]
+        for _ in range(1, self.n_components):
+            d2 = np.min(
+                ((x[:, None, :] - np.array(means)[None]) ** 2).sum(-1), axis=1
+            )
+            total = d2.sum()
+            if total <= 0:
+                means.append(x[rng.integers(n)])
+                continue
+            means.append(x[rng.choice(n, p=d2 / total)])
+        return np.array(means)
+
+    def fit(self, x: np.ndarray) -> "GaussianMixture":
+        """Run EM on data ``x`` of shape (N, D)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected (N, D) data, got shape {x.shape}")
+        n, d = x.shape
+        if n < self.n_components:
+            raise ValueError(
+                f"need at least {self.n_components} samples, got {n}"
+            )
+        rng = np.random.default_rng(self.seed)
+
+        self.means_ = self._init_means(x, rng)
+        global_var = x.var(axis=0) + self.reg_covar
+        self.variances_ = np.tile(global_var, (self.n_components, 1))
+        self.weights_ = np.full(self.n_components, 1.0 / self.n_components)
+
+        prev_ll = -np.inf
+        for iteration in range(1, self.max_iter + 1):
+            log_resp, ll = self._e_step(x)
+            self._m_step(x, log_resp)
+            self.n_iter_ = iteration
+            if abs(ll - prev_ll) < self.tol * max(1.0, abs(prev_ll)):
+                self.converged_ = True
+                break
+            prev_ll = ll
+        self._log_density_ref_ = float(self.score_samples(x).max())
+        return self
+
+    # ------------------------------------------------------------------
+    def _log_prob_components(self, x: np.ndarray) -> np.ndarray:
+        """Per-component log densities, shape (N, K)."""
+        diff = x[:, None, :] - self.means_[None]  # (N, K, D)
+        inv_var = 1.0 / self.variances_  # (K, D)
+        mahal = (diff**2 * inv_var[None]).sum(-1)  # (N, K)
+        log_det = np.log(self.variances_).sum(-1)  # (K,)
+        d = x.shape[1]
+        return -0.5 * (mahal + log_det + d * np.log(2 * np.pi))
+
+    def _e_step(self, x: np.ndarray) -> tuple[np.ndarray, float]:
+        weighted = self._log_prob_components(x) + np.log(self.weights_)[None]
+        norm = _logsumexp(weighted, axis=1)
+        return weighted - norm[:, None], float(norm.sum())
+
+    def _m_step(self, x: np.ndarray, log_resp: np.ndarray) -> None:
+        resp = np.exp(log_resp)  # (N, K)
+        nk = resp.sum(axis=0) + 1e-12
+        self.weights_ = nk / nk.sum()
+        self.means_ = (resp.T @ x) / nk[:, None]
+        diff2 = (x[:, None, :] - self.means_[None]) ** 2
+        self.variances_ = (
+            np.einsum("nk,nkd->kd", resp, diff2) / nk[:, None] + self.reg_covar
+        )
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.means_ is None:
+            raise RuntimeError("GaussianMixture is not fitted")
+
+    def score_samples(self, x: np.ndarray) -> np.ndarray:
+        """Log-likelihood of each sample under the mixture."""
+        self._check_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        weighted = self._log_prob_components(x) + np.log(self.weights_)[None]
+        return _logsumexp(weighted, axis=1)
+
+    def posterior(self, x: np.ndarray) -> np.ndarray:
+        """Posterior probability of each sample (normalized density).
+
+        The quantity Algorithm 2 ranks by: low values mark rare,
+        hotspot-like patterns.  Computed as the mixture density rescaled
+        to [0, 1] by the maximum density observed on the *training* data,
+        so values are comparable across queries of any batch size.
+        """
+        log_density = self.score_samples(x)
+        return np.exp(np.minimum(log_density - self._log_density_ref_, 0.0))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Component responsibilities, shape (N, K), rows sum to 1."""
+        self._check_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        weighted = self._log_prob_components(x) + np.log(self.weights_)[None]
+        return np.exp(weighted - _logsumexp(weighted, axis=1)[:, None])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard component assignment."""
+        return self.predict_proba(x).argmax(axis=1)
+
+
+def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
+    peak = a.max(axis=axis, keepdims=True)
+    out = np.log(np.exp(a - peak).sum(axis=axis)) + peak.squeeze(axis)
+    return out

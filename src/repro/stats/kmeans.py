@@ -1,0 +1,80 @@
+"""k-means clustering with k-means++ seeding.
+
+Used by the clustering-based diversity baseline (Zhang & Rudnicky style)
+and available as a building block for BADGE-like samplers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans_pp_init", "KMeans"]
+
+
+def kmeans_pp_init(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centres by D^2 sampling."""
+    n = x.shape[0]
+    if k > n:
+        raise ValueError(f"k={k} exceeds sample count {n}")
+    centres = [x[rng.integers(n)]]
+    for _ in range(1, k):
+        d2 = np.min(
+            ((x[:, None, :] - np.array(centres)[None]) ** 2).sum(-1), axis=1
+        )
+        total = d2.sum()
+        if total <= 0:
+            centres.append(x[rng.integers(n)])
+        else:
+            centres.append(x[rng.choice(n, p=d2 / total)])
+    return np.array(centres)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(self, k: int, max_iter: int = 100, tol: float = 1e-6,
+                 seed: int = 0) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centres_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected (N, D) data, got {x.shape}")
+        rng = np.random.default_rng(self.seed)
+        centres = kmeans_pp_init(x, self.k, rng)
+
+        for _ in range(self.max_iter):
+            d2 = ((x[:, None, :] - centres[None]) ** 2).sum(-1)
+            labels = d2.argmin(axis=1)
+            new_centres = centres.copy()
+            for j in range(self.k):
+                members = x[labels == j]
+                if len(members):
+                    new_centres[j] = members.mean(axis=0)
+            shift = float(np.abs(new_centres - centres).max())
+            centres = new_centres
+            if shift < self.tol:
+                break
+
+        d2 = ((x[:, None, :] - centres[None]) ** 2).sum(-1)
+        self.labels_ = d2.argmin(axis=1)
+        self.inertia_ = float(d2[np.arange(len(x)), self.labels_].sum())
+        self.centres_ = centres
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.centres_ is None:
+            raise RuntimeError("KMeans is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        d2 = ((x[:, None, :] - self.centres_[None]) ** 2).sum(-1)
+        return d2.argmin(axis=1)

@@ -1,0 +1,59 @@
+"""Principal component analysis via thin SVD.
+
+Block-DCT feature vectors are ~4600-dimensional; the GMM that forms the
+query set works far better (and faster) on a PCA projection that keeps
+most of the variance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Standard PCA: centre, project onto top right-singular vectors."""
+
+    def __init__(self, n_components: int) -> None:
+        if n_components <= 0:
+            raise ValueError(f"n_components must be positive, got {n_components}")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"expected (N, D) data, got {x.shape}")
+        n, d = x.shape
+        k = min(self.n_components, min(n, d))
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[:k]
+        denom = max(n - 1, 1)
+        variances = singular**2 / denom
+        self.explained_variance_ = variances[:k]
+        total = variances.sum()
+        self.explained_variance_ratio_ = (
+            variances[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(z, dtype=np.float64) @ self.components_ + self.mean_

@@ -1,0 +1,13 @@
+"""Dependency-free visualization: SVG layout/clip/detection rendering
+and Netpbm raster export for aerial images."""
+
+from .images import save_intensity_ppm, save_pgm
+from .svg import render_clip_svg, render_detection_svg, render_layout_svg
+
+__all__ = [
+    "render_layout_svg",
+    "render_clip_svg",
+    "render_detection_svg",
+    "save_pgm",
+    "save_intensity_ppm",
+]

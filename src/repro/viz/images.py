@@ -1,0 +1,69 @@
+"""Raster image export (PGM/PPM) for aerial images and masks.
+
+Netpbm formats need no libraries and open everywhere; aerial-image
+heatmaps use a blue-white-red colormap over the resist threshold so a
+reader sees at a glance which regions print.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_pgm", "save_intensity_ppm"]
+
+
+def save_pgm(image: np.ndarray, path, lo: float | None = None,
+             hi: float | None = None) -> None:
+    """Save a 2-D array as an 8-bit binary PGM, scaled from [lo, hi]."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected 2-D image, got {image.shape}")
+    lo = float(image.min()) if lo is None else lo
+    hi = float(image.max()) if hi is None else hi
+    span = hi - lo if hi > lo else 1.0
+    scaled = np.clip((image - lo) / span * 255.0, 0, 255).astype(np.uint8)
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode()
+    Path(path).write_bytes(header + scaled.tobytes())
+
+
+def save_intensity_ppm(
+    intensity: np.ndarray, path, threshold: float = 0.35
+) -> None:
+    """Save an aerial image as a PPM heatmap centred on ``threshold``.
+
+    Below-threshold intensity shades blue (does not print), above
+    shades red (prints); exactly at threshold is white — the printed
+    contour is the blue/red boundary.
+    """
+    intensity = np.asarray(intensity, dtype=np.float64)
+    if intensity.ndim != 2:
+        raise ValueError(f"expected 2-D image, got {intensity.shape}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+
+    # signed distance from threshold, normalized to [-1, 1]
+    above = intensity.max() - threshold
+    below = threshold - intensity.min()
+    signed = np.where(
+        intensity >= threshold,
+        (intensity - threshold) / (above if above > 0 else 1.0),
+        -(threshold - intensity) / (below if below > 0 else 1.0),
+    )
+    signed = np.clip(signed, -1.0, 1.0)
+
+    rgb = np.empty(intensity.shape + (3,), dtype=np.uint8)
+    hot = signed >= 0
+    # white -> red as signed goes 0 -> 1
+    rgb[..., 0] = 255
+    rgb[..., 1] = np.where(hot, (1 - signed) * 255, 255).astype(np.uint8)
+    rgb[..., 2] = np.where(hot, (1 - signed) * 255, 255).astype(np.uint8)
+    # white -> blue as signed goes 0 -> -1
+    cold = ~hot
+    rgb[..., 0][cold] = ((1 + signed[cold]) * 255).astype(np.uint8)
+    rgb[..., 1][cold] = ((1 + signed[cold]) * 255).astype(np.uint8)
+    rgb[..., 2][cold] = 255
+
+    header = f"P6\n{intensity.shape[1]} {intensity.shape[0]}\n255\n".encode()
+    Path(path).write_bytes(header + rgb.tobytes())

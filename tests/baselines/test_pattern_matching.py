@@ -1,0 +1,92 @@
+"""Tests for the pattern-matching baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PM_MODES, PatternMatcher, run_pattern_matching
+from repro.baselines.pattern_matching import core_features
+
+
+class TestPatternMatcher:
+    def test_rejects_unknown_mode(self, iccad16_2_small):
+        with pytest.raises(ValueError, match="mode"):
+            PatternMatcher("a99", iccad16_2_small)
+
+    def test_exact_miss_then_hit(self, iccad16_2_small):
+        matcher = PatternMatcher("exact", iccad16_2_small)
+        assert matcher.match(0) is None
+        matcher.insert(0, 1)
+        assert matcher.match(0) == 1
+        assert matcher.library_size == 1
+
+    def test_exact_matches_same_core_hash(self, iccad16_2_small):
+        hashes = iccad16_2_small.meta["core_hashes"]
+        values, counts = np.unique(hashes, return_counts=True)
+        dup = values[counts > 1]
+        if len(dup) == 0:
+            pytest.skip("no duplicated core patterns in fixture")
+        same = np.flatnonzero(hashes == dup[0])
+        matcher = PatternMatcher("exact", iccad16_2_small)
+        matcher.insert(int(same[0]), 0)
+        assert matcher.match(int(same[1])) == 0
+
+    def test_fuzzy_matches_near_duplicates(self, iccad16_2_small):
+        """a95 must match jittered recurrences of the same pattern."""
+        features = core_features(iccad16_2_small)
+        unit = features / np.maximum(
+            np.linalg.norm(features, axis=1, keepdims=True), 1e-12
+        )
+        sims = unit @ unit[0]
+        sims[0] = -1
+        partner = int(np.argmax(sims))
+        if sims[partner] < 0.95:
+            pytest.skip("clip 0 has no 0.95-similar partner")
+        matcher = PatternMatcher("a95", iccad16_2_small)
+        matcher.insert(0, 1)
+        assert matcher.match(partner) == 1
+
+    def test_e2_matches_only_close_codes(self, iccad16_2_small):
+        matcher = PatternMatcher("e2", iccad16_2_small)
+        matcher.insert(0, 0)
+        assert matcher.match(0) == 0  # distance 0 to itself
+
+
+class TestRunPatternMatching:
+    @pytest.mark.parametrize("mode", PM_MODES)
+    def test_all_modes_run(self, iccad16_2_small, mode):
+        result = run_pattern_matching(iccad16_2_small, mode)
+        assert result.method == f"pm-{mode}"
+        assert 0.0 <= result.accuracy <= 1.0
+        assert 0 < result.litho
+
+    def test_exact_is_perfectly_accurate(self, iccad16_2_small):
+        """Exact matching inherits only exact labels: 100% accuracy."""
+        result = run_pattern_matching(iccad16_2_small, "exact")
+        assert result.accuracy == 1.0
+        assert result.false_alarms == 0
+
+    def test_exact_is_most_expensive(self, iccad16_2_small):
+        """The Table II cost ordering: exact > e2 > a95 > a90."""
+        litho = {
+            mode: run_pattern_matching(iccad16_2_small, mode).litho
+            for mode in PM_MODES
+        }
+        assert litho["exact"] > litho["e2"] > litho["a95"] >= litho["a90"]
+
+    def test_fuzzy_can_trade_accuracy_for_cost(self, iccad12_small):
+        """Loose matching is cheaper but loses hotspots (paper's PM-a90
+        column)."""
+        exact = run_pattern_matching(iccad12_small, "exact")
+        loose = run_pattern_matching(iccad12_small, "a90")
+        assert loose.litho < exact.litho // 2
+        assert loose.accuracy < exact.accuracy
+
+    def test_litho_equation(self, iccad16_2_small):
+        result = run_pattern_matching(iccad16_2_small, "a95")
+        assert result.litho == result.n_train + result.false_alarms
+
+    def test_deterministic_per_seed(self, iccad16_2_small):
+        a = run_pattern_matching(iccad16_2_small, "a95", seed=1)
+        b = run_pattern_matching(iccad16_2_small, "a95", seed=1)
+        assert a.accuracy == b.accuracy
+        assert a.litho == b.litho

@@ -1,0 +1,46 @@
+"""Property-style invariants of the pattern-matching flow."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import run_pattern_matching
+
+
+class TestScanOrderInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_exact_accuracy_always_perfect(self, iccad16_2_small, seed):
+        """Exact matching inherits only exact labels, so accuracy is 1.0
+        under any scan order."""
+        result = run_pattern_matching(iccad16_2_small, "exact", seed=seed)
+        assert result.accuracy == 1.0
+        assert result.false_alarms == 0
+
+    def test_exact_litho_is_order_invariant(self, iccad16_2_small):
+        """The exact library size equals the number of distinct core
+        patterns, independent of scan order."""
+        lithos = {
+            run_pattern_matching(iccad16_2_small, "exact", seed=s).litho
+            for s in range(4)
+        }
+        assert len(lithos) == 1
+        hashes = iccad16_2_small.meta["core_hashes"]
+        assert lithos.pop() == len(np.unique(hashes))
+
+    @pytest.mark.parametrize("mode", ["a95", "a90", "e2"])
+    def test_fuzzy_litho_bounded_by_exact(self, iccad16_2_small, mode):
+        """Any fuzzy criterion matches at least as often as exact, so
+        its library (and litho bill) can only be smaller."""
+        exact = run_pattern_matching(iccad16_2_small, "exact", seed=0)
+        fuzzy = run_pattern_matching(iccad16_2_small, mode, seed=0)
+        assert fuzzy.n_train <= exact.n_train
+
+    def test_accounting_identity(self, iccad16_2_small):
+        """hits + FA + litho-simulated == total clips, for every mode."""
+        n = len(iccad16_2_small)
+        for mode in ("exact", "a95", "a90", "e2"):
+            result = run_pattern_matching(iccad16_2_small, mode, seed=1)
+            inherited = n - result.n_train
+            # every inherited clip is a hit, an FA, or an inherited
+            # non-hotspot (not individually reported); bounds must hold
+            assert result.hits + result.false_alarms <= inherited
+            assert result.litho == result.n_train + result.false_alarms

@@ -1,0 +1,165 @@
+"""Tests for QP, TS, random and k-centre baseline selectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    METHODS,
+    kcenter_selector,
+    make_config,
+    project_capped_simplex,
+    qp_selector,
+    random_selector,
+    solve_qp_relaxation,
+    ts_selector,
+)
+from repro.core import FrameworkConfig, SelectionContext
+
+
+def make_context(rng, n=40, k=8):
+    p1 = rng.uniform(0, 1, n)
+    calibrated = np.column_stack([1 - p1, p1])
+    p1_raw = np.clip(p1 + rng.normal(scale=0.1, size=n), 0, 1)
+    raw = np.column_stack([1 - p1_raw, p1_raw])
+    emb = rng.normal(size=(n, 8))
+    emb /= np.maximum(np.linalg.norm(emb, axis=1, keepdims=True), 1e-12)
+    return SelectionContext(
+        calibrated_probs=calibrated,
+        raw_probs=raw,
+        embeddings=emb,
+        k=k,
+        rng=rng,
+    )
+
+
+class TestProjection:
+    def test_satisfies_constraints(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            v = rng.normal(size=20) * 3
+            x = project_capped_simplex(v, 5)
+            assert np.all(x >= -1e-9)
+            assert np.all(x <= 1 + 1e-9)
+            assert x.sum() == pytest.approx(5.0, abs=1e-6)
+
+    def test_identity_when_feasible(self):
+        v = np.array([0.5, 0.5, 0.5, 0.5])
+        x = project_capped_simplex(v, 2.0)
+        np.testing.assert_allclose(x, v, atol=1e-6)
+
+    def test_is_euclidean_projection(self):
+        """Projected point is closer to v than random feasible points."""
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=10)
+        x = project_capped_simplex(v, 3)
+        for _ in range(50):
+            z = rng.dirichlet(np.ones(10)) * 3
+            z = np.clip(z, 0, 1)
+            if abs(z.sum() - 3) > 1e-6:
+                continue
+            assert np.sum((x - v) ** 2) <= np.sum((z - v) ** 2) + 1e-6
+
+    def test_rejects_infeasible_k(self):
+        with pytest.raises(ValueError):
+            project_capped_simplex(np.zeros(3), 5)
+
+
+class TestQPRelaxation:
+    def test_prefers_uncertain_when_kernel_uniform(self):
+        n = 10
+        kernel = np.eye(n) * 1e-6
+        uncertainty = np.arange(n, dtype=np.float64)
+        x = solve_qp_relaxation(kernel, uncertainty, k=3)
+        top = set(np.argsort(-x)[:3].tolist())
+        assert top == {7, 8, 9}
+
+    def test_kernel_penalizes_redundancy(self):
+        """Two identical samples should not both enter the batch when a
+        dissimilar alternative exists."""
+        emb = np.array(
+            [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]]
+        )
+        kernel = emb @ emb.T * 4.0
+        uncertainty = np.array([1.0, 1.0, 0.6])
+        x = solve_qp_relaxation(kernel, uncertainty, k=2)
+        top = set(np.argsort(-x)[:2].tolist())
+        assert 2 in top  # the orthogonal sample is selected
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            solve_qp_relaxation(np.zeros((3, 2)), np.zeros(3), 1)
+        with pytest.raises(ValueError):
+            solve_qp_relaxation(np.zeros((3, 3)), np.zeros(2), 1)
+
+
+class TestSelectors:
+    def test_qp_selector_returns_k_unique(self):
+        rng = np.random.default_rng(2)
+        ctx = make_context(rng)
+        chosen = qp_selector(ctx)
+        assert len(chosen) == ctx.k
+        assert len(set(chosen.tolist())) == ctx.k
+
+    def test_qp_selector_empty(self):
+        rng = np.random.default_rng(3)
+        ctx = SelectionContext(
+            calibrated_probs=np.zeros((0, 2)),
+            raw_probs=np.zeros((0, 2)),
+            embeddings=np.zeros((0, 4)),
+            k=5,
+            rng=rng,
+        )
+        assert qp_selector(ctx).shape == (0,)
+
+    def test_ts_selector_picks_top_uncertainty(self):
+        rng = np.random.default_rng(4)
+        ctx = make_context(rng)
+        from repro.core import hotspot_aware_uncertainty
+
+        chosen = ts_selector(ctx)
+        scores = hotspot_aware_uncertainty(ctx.calibrated_probs)
+        cutoff = np.sort(scores)[-ctx.k]
+        assert np.all(scores[chosen] >= cutoff - 1e-12)
+
+    def test_random_selector_uses_rng(self):
+        ctx_a = make_context(np.random.default_rng(5))
+        ctx_b = make_context(np.random.default_rng(5))
+        np.testing.assert_array_equal(
+            random_selector(ctx_a), random_selector(ctx_b)
+        )
+
+    def test_kcenter_spreads_selection(self):
+        rng = np.random.default_rng(6)
+        emb = np.vstack(
+            [np.tile([1.0, 0.0], (20, 1)), [[0.0, 1.0]], [[0.7, 0.7]]]
+        )
+        ctx = SelectionContext(
+            calibrated_probs=np.full((22, 2), 0.5),
+            raw_probs=np.full((22, 2), 0.5),
+            embeddings=emb,
+            k=3,
+            rng=rng,
+        )
+        chosen = set(kcenter_selector(ctx).tolist())
+        assert 20 in chosen  # the orthogonal outlier
+
+
+class TestMakeConfig:
+    def test_all_methods(self):
+        base = FrameworkConfig(seed=3, k_batch=7)
+        for method in METHODS:
+            cfg = make_config(method, base)
+            assert cfg.method_name == method
+            assert cfg.seed == 3
+            assert cfg.k_batch == 7
+
+    def test_qp_discards_query_rest(self):
+        assert make_config("qp").discard_query_rest is True
+        assert make_config("ours").discard_query_rest is False
+
+    def test_ours_uses_entropy_sampling(self):
+        assert make_config("ours").selector is None
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            make_config("alphafold")

@@ -1,0 +1,71 @@
+"""Tests for the JSON result store."""
+
+import pytest
+
+from repro.bench import ResultStore
+from repro.core.metrics import PSHDResult
+
+
+def make_result(benchmark="iccad16-2", method="ours", acc=0.95, litho=100):
+    return PSHDResult(
+        benchmark=benchmark,
+        method=method,
+        accuracy=acc,
+        litho=litho,
+        hits=3,
+        false_alarms=1,
+        n_train=80,
+        n_val=19,
+        hs_total=16,
+        iterations=4,
+        pshd_seconds=2.5,
+        history=[{"iteration": 1, "train_size": 40}],
+    )
+
+
+class TestResultStore:
+    def test_append_and_load(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append(make_result(), seed=0)
+        store.append(make_result(acc=0.90), seed=1)
+        records = store.load()
+        assert len(records) == 2
+        assert records[0]["seed"] == 0
+        assert records[1]["accuracy"] == 0.90
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "none.jsonl").load() == []
+
+    def test_roundtrip_preserves_fields(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        original = make_result()
+        store.append(original, seed=3)
+        loaded = store.results()[0]
+        assert loaded.benchmark == original.benchmark
+        assert loaded.accuracy == original.accuracy
+        assert loaded.litho == original.litho
+        assert loaded.history == original.history
+
+    def test_filtering(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append(make_result(method="ours"))
+        store.append(make_result(method="ts"))
+        store.append(make_result(benchmark="iccad12", method="ours"))
+        assert len(store.results(method="ours")) == 2
+        assert len(store.results(benchmark="iccad12")) == 1
+        assert len(store.results(benchmark="iccad12", method="ts")) == 0
+
+    def test_summarize_averages(self, tmp_path):
+        store = ResultStore(tmp_path / "runs.jsonl")
+        store.append(make_result(acc=0.9, litho=100), seed=0)
+        store.append(make_result(acc=1.0, litho=200), seed=1)
+        summary = store.summarize()
+        acc, litho = summary[("iccad16-2", "ours")]
+        assert acc == pytest.approx(0.95)
+        assert litho == pytest.approx(150.0)
+
+    def test_corrupt_line_reported_with_lineno(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            ResultStore(path).load()

@@ -1,0 +1,98 @@
+"""Tests for reliability diagrams and calibration errors (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    TemperatureScaler,
+    expected_calibration_error,
+    max_calibration_error,
+    reliability_diagram,
+)
+from repro.nn.losses import softmax
+
+
+def perfectly_calibrated(rng, n=20000):
+    """Predictions whose confidence equals their true accuracy."""
+    conf = rng.uniform(0.5, 1.0, size=n)
+    probs = np.column_stack([1 - conf, conf])
+    labels = (rng.random(n) < conf).astype(np.int64)
+    return probs, labels
+
+
+class TestReliabilityDiagram:
+    def test_perfect_calibration_small_ece(self):
+        rng = np.random.default_rng(0)
+        probs, labels = perfectly_calibrated(rng)
+        diagram = reliability_diagram(probs, labels)
+        assert diagram.ece < 0.02
+
+    def test_overconfidence_detected(self):
+        """Confidence 0.99 with 60% accuracy must show a large gap."""
+        rng = np.random.default_rng(1)
+        n = 1000
+        probs = np.tile([0.01, 0.99], (n, 1))
+        labels = (rng.random(n) < 0.6).astype(np.int64)
+        diagram = reliability_diagram(probs, labels)
+        assert diagram.ece > 0.3
+        assert diagram.mce > 0.3
+
+    def test_bin_structure(self):
+        rng = np.random.default_rng(2)
+        probs, labels = perfectly_calibrated(rng, n=1000)
+        diagram = reliability_diagram(probs, labels, n_bins=10)
+        assert diagram.bin_edges.shape == (11,)
+        assert diagram.count.sum() == 1000
+        # binary max-prob confidence is >= 0.5, so low bins are empty
+        assert diagram.count[:5].sum() == 0
+        assert np.isnan(diagram.confidence[0])
+
+    def test_gap_matches_definition(self):
+        rng = np.random.default_rng(3)
+        probs, labels = perfectly_calibrated(rng, n=500)
+        diagram = reliability_diagram(probs, labels)
+        occupied = diagram.count > 0
+        np.testing.assert_allclose(
+            diagram.gap[occupied],
+            np.abs(diagram.confidence - diagram.accuracy)[occupied],
+        )
+
+    def test_to_rows(self):
+        rng = np.random.default_rng(4)
+        probs, labels = perfectly_calibrated(rng, n=300)
+        rows = reliability_diagram(probs, labels, n_bins=5).to_rows()
+        assert len(rows) == 5
+        assert rows[0][0] == pytest.approx(0.1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            reliability_diagram(np.zeros((3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            reliability_diagram(np.zeros((3, 2)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            reliability_diagram(np.zeros((0, 2)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            reliability_diagram(np.zeros((3, 2)), np.zeros(3, dtype=int),
+                                n_bins=0)
+
+
+class TestCalibrationImprovement:
+    def test_temperature_scaling_reduces_ece(self):
+        """End-to-end Fig. 2 behaviour: scaling shrinks the gap bars."""
+        rng = np.random.default_rng(5)
+        n = 4000
+        y = rng.integers(0, 2, size=n)
+        signal = (2 * y - 1) * 1.0 + rng.normal(scale=1.2, size=n)
+        logits = np.column_stack([-signal, signal]) * 5.0  # overconfident
+
+        before = expected_calibration_error(softmax(logits), y)
+        scaler = TemperatureScaler().fit(logits, y)
+        after = expected_calibration_error(scaler.transform(logits), y)
+        assert after < before * 0.5
+
+    def test_mce_bounds_ece(self):
+        rng = np.random.default_rng(6)
+        probs, labels = perfectly_calibrated(rng, n=2000)
+        ece = expected_calibration_error(probs, labels)
+        mce = max_calibration_error(probs, labels)
+        assert mce >= ece

@@ -1,0 +1,119 @@
+"""Tests for temperature scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import (
+    TemperatureScaler,
+    fit_temperature,
+    nll,
+    scaled_softmax,
+)
+from repro.nn.losses import softmax
+
+
+def overconfident_logits(rng, n=500, scale=6.0, noise=1.5):
+    """Logits that are systematically too sharp: true class signal is
+    weaker than the logit magnitude suggests."""
+    y = rng.integers(0, 2, size=n)
+    signal = (2 * y - 1) * 1.0 + rng.normal(scale=noise, size=n)
+    logits = np.column_stack([-signal, signal]) * scale
+    return logits, y
+
+
+class TestScaledSoftmax:
+    def test_t1_matches_plain_softmax(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(10, 2))
+        np.testing.assert_allclose(scaled_softmax(logits, 1.0), softmax(logits))
+
+    def test_high_temperature_flattens(self):
+        logits = np.array([[4.0, 0.0]])
+        hot = scaled_softmax(logits, 100.0)
+        np.testing.assert_allclose(hot, 0.5, atol=0.02)
+
+    def test_low_temperature_sharpens(self):
+        logits = np.array([[1.0, 0.0]])
+        cold = scaled_softmax(logits, 0.1)
+        assert cold[0, 0] > 0.999
+
+    def test_argmax_invariant(self):
+        """Calibration must never change predictions (Section III-A1)."""
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(100, 2))
+        base = softmax(logits).argmax(axis=1)
+        for t in (0.2, 0.7, 3.0, 9.0):
+            np.testing.assert_array_equal(
+                scaled_softmax(logits, t).argmax(axis=1), base
+            )
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            scaled_softmax(np.zeros((1, 2)), 0.0)
+        with pytest.raises(ValueError):
+            nll(np.zeros((1, 2)), np.zeros(1, dtype=int), -1.0)
+
+
+class TestFitTemperature:
+    def test_overconfident_model_gets_t_above_one(self):
+        rng = np.random.default_rng(2)
+        logits, y = overconfident_logits(rng)
+        t = fit_temperature(logits, y)
+        assert t > 1.5
+
+    def test_underconfident_model_gets_t_below_one(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=500)
+        # weak logits but almost always correct
+        signal = (2 * y - 1) * 1.0 + rng.normal(scale=0.05, size=500)
+        logits = np.column_stack([-signal, signal]) * 0.3
+        t = fit_temperature(logits, y)
+        assert t < 0.8
+
+    def test_fitted_t_reduces_nll(self):
+        rng = np.random.default_rng(4)
+        logits, y = overconfident_logits(rng)
+        t = fit_temperature(logits, y)
+        assert nll(logits, y, t) < nll(logits, y, 1.0)
+
+    def test_fitted_t_is_near_optimal_on_grid(self):
+        rng = np.random.default_rng(5)
+        logits, y = overconfident_logits(rng)
+        t = fit_temperature(logits, y)
+        grid = np.linspace(0.1, 15.0, 300)
+        best = grid[np.argmin([nll(logits, y, g) for g in grid])]
+        assert nll(logits, y, t) <= nll(logits, y, best) + 1e-6
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fit_temperature(np.zeros((3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            fit_temperature(np.zeros((3, 2)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            fit_temperature(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(0.1, 10.0))
+def test_scaling_preserves_probability_simplex(temperature):
+    rng = np.random.default_rng(int(temperature * 1000) % 2**31)
+    logits = rng.normal(size=(20, 2)) * 5
+    probs = scaled_softmax(logits, temperature)
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestTemperatureScaler:
+    def test_fit_transform_calibrates(self):
+        rng = np.random.default_rng(6)
+        logits, y = overconfident_logits(rng)
+        scaler = TemperatureScaler()
+        probs = scaler.fit_transform(logits, y)
+        assert scaler.temperature_ > 1.0
+        assert probs.shape == logits.shape
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TemperatureScaler().transform(np.zeros((2, 2)))

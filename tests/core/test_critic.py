@@ -1,0 +1,80 @@
+"""Tests for CRITIC weighting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import critic_weights, entropy_weights
+
+
+class TestCriticWeights:
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        w = critic_weights(rng.random((50, 3)))
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)
+
+    def test_constant_indicator_gets_zero(self):
+        n = 40
+        constant = np.full(n, 2.0)
+        varying = np.linspace(0, 1, n)
+        w = critic_weights(np.column_stack([constant, varying]))
+        assert w[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_independent_indicator_beats_redundant_pair(self):
+        """Two perfectly correlated indicators share their information;
+        an independent third indicator earns more weight than either."""
+        rng = np.random.default_rng(1)
+        a = rng.random(200)
+        b = a * 2.0 + 1.0          # perfectly correlated with a
+        c = rng.random(200)        # independent
+        w = critic_weights(np.column_stack([a, b, c]))
+        assert w[2] > w[0]
+        assert w[2] > w[1]
+
+    def test_degenerate_inputs_fall_back_uniform(self):
+        np.testing.assert_allclose(critic_weights(np.ones((10, 2))), 0.5)
+        np.testing.assert_allclose(critic_weights(np.ones((1, 3))), 1 / 3)
+
+    def test_single_indicator(self):
+        w = critic_weights(np.linspace(0, 1, 20)[:, None])
+        np.testing.assert_allclose(w, [1.0])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            critic_weights(np.zeros(5))
+        with pytest.raises(ValueError):
+            critic_weights(np.zeros((5, 0)))
+
+    def test_differs_from_entropy_weighting(self):
+        """CRITIC rewards independence, which entropy weighting cannot
+        see — the two schemes must disagree on correlated indicators."""
+        rng = np.random.default_rng(2)
+        a = np.zeros(100)
+        a[:10] = 1.0
+        b = a.copy()  # duplicate of a: no new information
+        c = rng.random(100) > 0.9
+        scores = np.column_stack([a, b, c.astype(float)])
+        critic = critic_weights(scores)
+        entropy = entropy_weights(scores)
+        # entropy weighting treats a and b as equally informative as if
+        # independent; CRITIC penalizes the duplication
+        assert critic[2] / (critic[0] + 1e-12) > \
+            entropy[2] / (entropy[0] + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(2, 30), st.integers(1, 4)),
+        elements=st.floats(0, 10),
+    )
+)
+def test_critic_always_valid_simplex(scores):
+    w = critic_weights(scores)
+    assert w.shape == (scores.shape[1],)
+    assert np.all(w >= -1e-12)
+    assert w.sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for the min-distance diversity metric (Eqs. (7)-(8))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.diversity import diversity_matrix, diversity_scores
+
+
+def unit_rows(x):
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    return x / np.maximum(norms, 1e-12)
+
+
+class TestDiversityMatrix:
+    def test_identical_vectors_distance_zero(self):
+        x = unit_rows(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        d = diversity_matrix(x)
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_orthogonal_vectors_distance_one(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        d = diversity_matrix(x)
+        assert d[0, 1] == pytest.approx(1.0)
+        assert d[0, 0] == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        x = unit_rows(rng.normal(size=(10, 5)))
+        d = diversity_matrix(x)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+
+    def test_normalization_option(self):
+        rng = np.random.default_rng(1)
+        raw = rng.normal(size=(6, 4)) * 10
+        d_auto = diversity_matrix(raw, assume_normalized=False)
+        d_manual = diversity_matrix(unit_rows(raw))
+        np.testing.assert_allclose(d_auto, d_manual, atol=1e-12)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            diversity_matrix(np.zeros(5))
+
+
+class TestDiversityScores:
+    def test_outlier_gets_highest_score(self):
+        """The Fig. 3(a) property: points away from clusters score high."""
+        rng = np.random.default_rng(2)
+        cluster = rng.normal(loc=[1, 0, 0], scale=0.01, size=(20, 3))
+        outlier = np.array([[0.0, 1.0, 0.0]])
+        x = unit_rows(np.vstack([cluster, outlier]))
+        scores = diversity_scores(x)
+        assert np.argmax(scores) == 20
+
+    def test_duplicate_scores_zero(self):
+        x = unit_rows(np.array([[1.0, 1.0], [1.0, 1.0], [0.0, 1.0]]))
+        scores = diversity_scores(x)
+        assert scores[0] == pytest.approx(0.0, abs=1e-12)
+        assert scores[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        x = unit_rows(rng.normal(size=(15, 6)))
+        scores = diversity_scores(x)
+        d = 1.0 - x @ x.T
+        for i in range(15):
+            expected = min(d[i, j] for j in range(15) if j != i)
+            assert scores[i] == pytest.approx(expected, abs=1e-12)
+
+    def test_edge_cases(self):
+        assert diversity_scores(np.zeros((0, 3))).shape == (0,)
+        np.testing.assert_allclose(diversity_scores(np.ones((1, 3))), [0.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=12),
+        elements=st.floats(-5, 5),
+    )
+)
+def test_scores_bounded_for_normalized_inputs(x):
+    """Property: unit-norm rows give d_i in [0, 2] and min-dist <= any
+    pairwise distance."""
+    norms = np.linalg.norm(x, axis=1)
+    x = x[norms > 1e-6]
+    if len(x) < 2:
+        return
+    x = unit_rows(x)
+    scores = diversity_scores(x)
+    assert np.all(scores >= -1e-9)
+    assert np.all(scores <= 2.0 + 1e-9)

@@ -1,0 +1,127 @@
+"""Tests for the entropy weighting method (Eqs. (10)-(13))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.entropy_weighting import (
+    entropy_weights,
+    index_entropy,
+    minmax_normalize,
+)
+
+
+class TestMinMaxNormalize:
+    def test_maps_to_unit_interval(self):
+        scores = np.array([[1.0, 100.0], [3.0, 300.0], [2.0, 200.0]])
+        normalized = minmax_normalize(scores)
+        np.testing.assert_allclose(normalized.min(axis=0), 0.0)
+        np.testing.assert_allclose(normalized.max(axis=0), 1.0)
+        np.testing.assert_allclose(normalized[:, 0], [0.0, 1.0, 0.5])
+
+    def test_constant_column_maps_to_zero(self):
+        scores = np.array([[5.0, 1.0], [5.0, 2.0]])
+        normalized = minmax_normalize(scores)
+        np.testing.assert_allclose(normalized[:, 0], 0.0)
+
+    def test_accepts_1d(self):
+        normalized = minmax_normalize(np.array([1.0, 2.0, 3.0]))
+        assert normalized.shape == (3, 1)
+
+
+class TestIndexEntropy:
+    def test_uniform_scores_entropy_one(self):
+        """An evenly distributed indicator has E_j -> 1 (no information)."""
+        scores = np.linspace(0, 1, 100)[:, None]
+        normalized = minmax_normalize(scores)
+        e = index_entropy(normalized)
+        assert e[0] > 0.9
+
+    def test_concentrated_scores_low_entropy(self):
+        """One sample dominating the indicator gives low entropy."""
+        scores = np.zeros((50, 1))
+        scores[0] = 1.0
+        e = index_entropy(minmax_normalize(scores))
+        assert e[0] < 0.1
+
+    def test_zero_column_defined_as_one(self):
+        e = index_entropy(np.zeros((10, 1)))
+        assert e[0] == 1.0
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        e = index_entropy(minmax_normalize(rng.random((30, 4))))
+        assert np.all(e >= 0.0)
+        assert np.all(e <= 1.0)
+
+    def test_single_sample(self):
+        e = index_entropy(np.ones((1, 2)))
+        np.testing.assert_allclose(e, 1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            index_entropy(np.zeros(5))
+
+
+class TestEntropyWeights:
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        w = entropy_weights(rng.random((40, 2)))
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)
+
+    def test_informative_indicator_wins(self):
+        """A concentrated indicator outweighs a uniform one — the core
+        claim of Section III-A3."""
+        n = 60
+        uniform = np.linspace(0, 1, n)
+        concentrated = np.zeros(n)
+        concentrated[:3] = 1.0
+        w = entropy_weights(np.column_stack([uniform, concentrated]))
+        assert w[1] > w[0]
+
+    def test_constant_indicator_gets_zero_weight(self):
+        """'No matter how much weight is assigned... a weight of 0
+        should be given' (paper, Section III-A3)."""
+        n = 30
+        constant = np.full(n, 0.7)
+        varying = np.zeros(n)
+        varying[:2] = 1.0
+        w = entropy_weights(np.column_stack([constant, varying]))
+        assert w[0] == pytest.approx(0.0, abs=1e-9)
+        assert w[1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetric_indicators_equal_weights(self):
+        n = 40
+        a = np.zeros(n)
+        a[:5] = 1.0
+        w = entropy_weights(np.column_stack([a, a[::-1]]))
+        np.testing.assert_allclose(w, 0.5, atol=1e-9)
+
+    def test_all_uninformative_falls_back_uniform(self):
+        w = entropy_weights(np.ones((10, 2)))
+        np.testing.assert_allclose(w, 0.5)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            entropy_weights(np.zeros(5))
+        with pytest.raises(ValueError):
+            entropy_weights(np.zeros((5, 0)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(2, 30), st.integers(1, 4)),
+        elements=st.floats(0, 10),
+    )
+)
+def test_weights_always_valid_simplex(scores):
+    """Property: weights are a probability vector for any input."""
+    w = entropy_weights(scores)
+    assert w.shape == (scores.shape[1],)
+    assert np.all(w >= -1e-12)
+    assert w.sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,66 @@
+"""Tests for the PSHD metrics (Eqs. (1)-(2)) and the runtime model."""
+
+import pytest
+
+from repro.core.metrics import (
+    PSHDResult,
+    litho_overhead,
+    overall_runtime,
+    pshd_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_equation_1(self):
+        # (10 + 5 + 80) / 100
+        assert pshd_accuracy(10, 5, 80, 100) == pytest.approx(0.95)
+
+    def test_all_found(self):
+        assert pshd_accuracy(50, 0, 50, 100) == 1.0
+
+    def test_no_hotspots_convention(self):
+        """ICCAD16-1 has zero hotspots; accuracy is 1.0 by convention."""
+        assert pshd_accuracy(0, 0, 0, 0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pshd_accuracy(-1, 0, 0, 10)
+
+    def test_rejects_overcount(self):
+        with pytest.raises(ValueError):
+            pshd_accuracy(5, 5, 5, 10)
+
+
+class TestLitho:
+    def test_equation_2(self):
+        assert litho_overhead(100, 30, 12) == 142
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            litho_overhead(10, -1, 0)
+
+
+class TestRuntime:
+    def test_ten_seconds_per_clip(self):
+        assert overall_runtime(100, 50.0) == pytest.approx(1050.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            overall_runtime(-1, 0.0)
+        with pytest.raises(ValueError):
+            overall_runtime(1, -0.5)
+
+
+class TestPSHDResult:
+    def test_row_formats_percent(self):
+        result = PSHDResult("iccad12", "ours", accuracy=0.9825, litho=9717)
+        name, acc, litho = result.row()
+        assert name == "iccad12"
+        assert acc == pytest.approx(98.25)
+        assert litho == 9717
+
+    def test_runtime_property(self):
+        result = PSHDResult(
+            "b", "m", accuracy=1.0, litho=10, pshd_seconds=3.5
+        )
+        assert result.runtime_seconds == pytest.approx(103.5)

@@ -1,0 +1,141 @@
+"""Tests for EntropySampling (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SamplingConfig, entropy_sampling
+
+
+def unit_rows(x):
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    return x / np.maximum(norms, 1e-12)
+
+
+def query_set(rng, n=50):
+    """A query set with known structure: one dense cluster of confident
+    non-hotspots, a few boundary hotspots, and one isolated outlier."""
+    p1 = np.concatenate(
+        [
+            rng.uniform(0.01, 0.1, n - 6),   # confident non-hotspots
+            rng.uniform(0.42, 0.55, 5),      # boundary hotspot-ish
+            [0.05],                          # outlier in feature space
+        ]
+    )
+    probs = np.column_stack([1 - p1, p1])
+    emb = rng.normal(loc=[1, 0, 0], scale=0.05, size=(n, 3))
+    emb[n - 6 : n - 1] += rng.normal(scale=0.3, size=(5, 3))
+    emb[n - 1] = [0, 1, 0]                   # isolated sample
+    return probs, unit_rows(emb)
+
+
+class TestEntropySampling:
+    def test_selects_k(self):
+        rng = np.random.default_rng(0)
+        probs, emb = query_set(rng)
+        outcome = entropy_sampling(probs, emb, k=10)
+        assert outcome.selected.shape == (10,)
+        assert len(set(outcome.selected.tolist())) == 10
+
+    def test_k_capped_at_query_size(self):
+        rng = np.random.default_rng(1)
+        probs, emb = query_set(rng, n=8)
+        outcome = entropy_sampling(probs, emb, k=20)
+        assert len(outcome.selected) == 8
+
+    def test_selected_are_top_scores(self):
+        rng = np.random.default_rng(2)
+        probs, emb = query_set(rng)
+        outcome = entropy_sampling(probs, emb, k=5)
+        threshold = np.sort(outcome.scores)[-5]
+        assert np.all(outcome.scores[outcome.selected] >= threshold - 1e-12)
+
+    def test_boundary_hotspots_preferred(self):
+        """Samples near the decision boundary on the hotspot side get in."""
+        rng = np.random.default_rng(3)
+        probs, emb = query_set(rng)
+        outcome = entropy_sampling(probs, emb, k=6)
+        boundary = set(range(44, 49))
+        assert boundary & set(outcome.selected.tolist())
+
+    def test_outlier_selected_when_diversity_active(self):
+        rng = np.random.default_rng(4)
+        probs, emb = query_set(rng)
+        outcome = entropy_sampling(probs, emb, k=10)
+        assert 49 in outcome.selected
+
+    def test_uncertainty_only_ignores_outlier(self):
+        rng = np.random.default_rng(5)
+        probs, emb = query_set(rng)
+        config = SamplingConfig(use_diversity=False)
+        outcome = entropy_sampling(probs, emb, k=5, config=config)
+        # outlier has confident non-hotspot prob, low uncertainty
+        assert 49 not in outcome.selected
+        np.testing.assert_allclose(outcome.weights, [1.0, 0.0])
+
+    def test_diversity_only(self):
+        rng = np.random.default_rng(6)
+        probs, emb = query_set(rng)
+        config = SamplingConfig(use_uncertainty=False)
+        outcome = entropy_sampling(probs, emb, k=3, config=config)
+        assert 49 in outcome.selected
+        np.testing.assert_allclose(outcome.weights, [0.0, 1.0])
+
+    def test_fixed_weights(self):
+        rng = np.random.default_rng(7)
+        probs, emb = query_set(rng)
+        config = SamplingConfig(fixed_diversity_weight=0.2)
+        outcome = entropy_sampling(probs, emb, k=5, config=config)
+        np.testing.assert_allclose(outcome.weights, [0.8, 0.2])
+
+    def test_dynamic_weights_sum_to_one(self):
+        rng = np.random.default_rng(8)
+        probs, emb = query_set(rng)
+        outcome = entropy_sampling(probs, emb, k=5)
+        assert outcome.weights.sum() == pytest.approx(1.0)
+
+    def test_empty_query_set(self):
+        outcome = entropy_sampling(np.zeros((0, 2)), np.zeros((0, 3)), k=5)
+        assert outcome.selected.shape == (0,)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(9)
+        probs, emb = query_set(rng)
+        a = entropy_sampling(probs, emb, k=7)
+        b = entropy_sampling(probs, emb, k=7)
+        np.testing.assert_array_equal(a.selected, b.selected)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            entropy_sampling(np.zeros((3, 3)), np.zeros((3, 2)), k=1)
+        with pytest.raises(ValueError):
+            entropy_sampling(np.zeros((3, 2)), np.zeros((2, 2)), k=1)
+        with pytest.raises(ValueError):
+            entropy_sampling(np.zeros((3, 2)), np.zeros((3, 2)), k=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(use_uncertainty=False, use_diversity=False)
+        with pytest.raises(ValueError):
+            SamplingConfig(fixed_diversity_weight=1.5)
+        with pytest.raises(ValueError):
+            SamplingConfig(uncertainty_metric="margin")
+        with pytest.raises(ValueError):
+            SamplingConfig(weighting_method="ahp")
+
+    def test_uncertainty_metric_variants(self):
+        rng = np.random.default_rng(10)
+        probs, emb = query_set(rng)
+        for metric in ("hotspot_aware", "bvsb", "entropy"):
+            config = SamplingConfig(uncertainty_metric=metric)
+            outcome = entropy_sampling(probs, emb, k=5, config=config)
+            assert len(outcome.selected) == 5
+
+    def test_critic_weighting_variant(self):
+        rng = np.random.default_rng(11)
+        probs, emb = query_set(rng)
+        config = SamplingConfig(weighting_method="critic")
+        outcome = entropy_sampling(probs, emb, k=5, config=config)
+        assert outcome.weights.sum() == pytest.approx(1.0)
+        # critic and entropy weighting generally disagree on real data
+        base = entropy_sampling(probs, emb, k=5)
+        assert not np.allclose(outcome.weights, base.weights)

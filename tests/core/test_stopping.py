@@ -1,0 +1,102 @@
+"""Tests for active-learning stopping criteria."""
+
+import pytest
+
+from repro.core import (
+    AnyOf,
+    FrameworkConfig,
+    HotspotYieldStall,
+    LithoBudget,
+    LoopState,
+    MaxIterations,
+    PSHDFramework,
+    StoppingCriterion,
+    UncertaintyExhausted,
+)
+
+
+def state(**overrides):
+    defaults = dict(
+        iteration=1,
+        litho_used=0,
+        pool_size=100,
+        max_uncertainty=0.9,
+        recent_batch_hotspots=[],
+    )
+    defaults.update(overrides)
+    return LoopState(**defaults)
+
+
+class TestCriteria:
+    def test_base_never_stops(self):
+        assert not StoppingCriterion()(state())
+
+    def test_max_iterations(self):
+        crit = MaxIterations(3)
+        assert not crit(state(iteration=3))
+        assert crit(state(iteration=4))
+
+    def test_litho_budget(self):
+        crit = LithoBudget(100)
+        assert not crit(state(litho_used=99))
+        assert crit(state(litho_used=100))
+
+    def test_uncertainty_exhausted(self):
+        crit = UncertaintyExhausted(threshold=0.3)
+        assert not crit(state(max_uncertainty=0.5))
+        assert crit(state(max_uncertainty=0.1))
+
+    def test_hotspot_yield_stall(self):
+        crit = HotspotYieldStall(window=2)
+        assert not crit(state(recent_batch_hotspots=[3]))
+        assert not crit(state(recent_batch_hotspots=[3, 0]))
+        assert crit(state(recent_batch_hotspots=[3, 0, 0]))
+        assert not crit(state(recent_batch_hotspots=[0, 0, 1]))
+
+    def test_any_of(self):
+        crit = AnyOf(MaxIterations(5), LithoBudget(10))
+        assert crit(state(litho_used=20))
+        assert crit(state(iteration=6))
+        assert not crit(state())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxIterations(0)
+        with pytest.raises(ValueError):
+            LithoBudget(-1)
+        with pytest.raises(ValueError):
+            UncertaintyExhausted(threshold=1.5)
+        with pytest.raises(ValueError):
+            HotspotYieldStall(window=0)
+        with pytest.raises(ValueError):
+            AnyOf()
+
+
+class TestFrameworkIntegration:
+    def _config(self, **overrides):
+        defaults = dict(
+            n_query=60, k_batch=10, n_iterations=6, init_train=24,
+            val_size=20, arch="mlp", epochs_initial=8, epochs_update=3,
+            seed=0,
+        )
+        defaults.update(overrides)
+        return FrameworkConfig(**defaults)
+
+    def test_litho_budget_truncates_run(self, iccad16_2_small):
+        budget = 60
+        cfg = self._config(stop_when=LithoBudget(budget))
+        result = PSHDFramework(iccad16_2_small, cfg).run()
+        # 24 + 20 = 44 seed labels; one batch of 10 may land before the
+        # check fires, so the spend stays within one batch of the budget
+        assert result.n_train + result.n_val <= budget + cfg.k_batch
+        assert result.iterations < 6
+
+    def test_max_iterations_criterion_matches_config(self, iccad16_2_small):
+        cfg = self._config(stop_when=MaxIterations(2))
+        result = PSHDFramework(iccad16_2_small, cfg).run()
+        assert result.iterations == 2
+
+    def test_without_criterion_runs_all_iterations(self, iccad16_2_small):
+        cfg = self._config()
+        result = PSHDFramework(iccad16_2_small, cfg).run()
+        assert result.iterations == 6

@@ -1,0 +1,108 @@
+"""Tests for the uncertainty metrics (Eqs. (3) and (6))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.uncertainty import (
+    bvsb_uncertainty,
+    entropy_uncertainty,
+    hotspot_aware_uncertainty,
+)
+
+
+def probs_from_p1(p1):
+    p1 = np.asarray(p1, dtype=np.float64)
+    return np.column_stack([1 - p1, p1])
+
+
+class TestBvsb:
+    def test_peak_at_even_split(self):
+        u = bvsb_uncertainty(probs_from_p1([0.5]))
+        assert u[0] == pytest.approx(1.0)
+
+    def test_zero_at_certainty(self):
+        u = bvsb_uncertainty(probs_from_p1([0.0, 1.0]))
+        np.testing.assert_allclose(u, 0.0)
+
+    def test_symmetric(self):
+        u = bvsb_uncertainty(probs_from_p1([0.3, 0.7]))
+        assert u[0] == pytest.approx(u[1])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            bvsb_uncertainty(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            bvsb_uncertainty(np.array([[0.5, 1.5]]))
+
+
+class TestEntropyUncertainty:
+    def test_uniform_maximal(self):
+        u = entropy_uncertainty(probs_from_p1([0.5]))
+        assert u[0] == pytest.approx(np.log(2))
+
+    def test_onehot_zero(self):
+        u = entropy_uncertainty(probs_from_p1([1.0]))
+        assert u[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestHotspotAware:
+    """Behavioural contract of Eq. (6) with h = 0.4."""
+
+    def test_piecewise_values(self):
+        # p1 < h: score = p1
+        u = hotspot_aware_uncertainty(probs_from_p1([0.1, 0.39]))
+        np.testing.assert_allclose(u, [0.1, 0.39])
+        # p1 > h: score = p0 + h
+        u = hotspot_aware_uncertainty(probs_from_p1([0.41, 0.9]))
+        np.testing.assert_allclose(u, [0.59 + 0.4, 0.1 + 0.4])
+
+    def test_hotspot_side_always_outranks_nonhotspot_side(self):
+        """Any p1 > h scores strictly above any p1 < h (the paper's
+        preference for hotspot-like samples)."""
+        rng = np.random.default_rng(0)
+        hot = hotspot_aware_uncertainty(
+            probs_from_p1(rng.uniform(0.401, 1.0, 100))
+        )
+        cold = hotspot_aware_uncertainty(
+            probs_from_p1(rng.uniform(0.0, 0.399, 100))
+        )
+        assert hot.min() > cold.max()
+
+    def test_peak_just_above_boundary(self):
+        p1 = np.array([0.3, 0.401, 0.6, 0.9])
+        u = hotspot_aware_uncertainty(probs_from_p1(p1))
+        assert np.argmax(u) == 1
+
+    def test_decays_with_confidence_on_hotspot_side(self):
+        p1 = np.linspace(0.45, 1.0, 20)
+        u = hotspot_aware_uncertainty(probs_from_p1(p1))
+        assert np.all(np.diff(u) < 0)
+
+    def test_increases_towards_boundary_on_nonhotspot_side(self):
+        p1 = np.linspace(0.0, 0.39, 20)
+        u = hotspot_aware_uncertainty(probs_from_p1(p1))
+        assert np.all(np.diff(u) > 0)
+
+    def test_custom_boundary(self):
+        u = hotspot_aware_uncertainty(probs_from_p1([0.45]), h=0.5)
+        assert u[0] == pytest.approx(0.45)  # below the custom boundary
+
+    def test_rejects_bad_h(self):
+        with pytest.raises(ValueError):
+            hotspot_aware_uncertainty(probs_from_p1([0.5]), h=0.0)
+        with pytest.raises(ValueError):
+            hotspot_aware_uncertainty(probs_from_p1([0.5]), h=1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50))
+def test_scores_bounded(p1_values):
+    """Property: all three scores stay within their documented ranges."""
+    probs = probs_from_p1(p1_values)
+    assert np.all(bvsb_uncertainty(probs) <= 1.0 + 1e-12)
+    assert np.all(bvsb_uncertainty(probs) >= -1e-12)
+    u = hotspot_aware_uncertainty(probs)
+    assert np.all(u >= -1e-12)
+    assert np.all(u <= 1.0 + 1e-12)

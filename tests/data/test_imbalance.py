@@ -1,0 +1,87 @@
+"""Tests for class-imbalance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import class_ratio, oversample_minority
+
+
+def imbalanced(rng, n=100, ratio=0.05, channels=64):
+    x = rng.normal(size=(n, channels, 4, 4))
+    y = np.zeros(n, dtype=np.int64)
+    y[: int(n * ratio)] = 1
+    return x, y
+
+
+class TestClassRatio:
+    def test_basic(self):
+        assert class_ratio(np.array([0, 1, 1, 0])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            class_ratio(np.array([]))
+
+
+class TestOversampleMinority:
+    def test_reaches_target_ratio(self):
+        rng = np.random.default_rng(0)
+        x, y = imbalanced(rng)
+        big_x, big_y = oversample_minority(x, y, target_ratio=0.5, seed=0)
+        assert class_ratio(big_y) == pytest.approx(0.5, abs=0.01)
+        assert len(big_x) == len(big_y)
+
+    def test_originals_preserved(self):
+        rng = np.random.default_rng(1)
+        x, y = imbalanced(rng)
+        big_x, big_y = oversample_minority(x, y, target_ratio=0.3, seed=0)
+        np.testing.assert_array_equal(big_x[: len(x)], x)
+        np.testing.assert_array_equal(big_y[: len(y)], y)
+        # all appended samples are minority
+        assert np.all(big_y[len(y):] == 1)
+
+    def test_augmented_replicas_not_exact_copies(self):
+        rng = np.random.default_rng(2)
+        x, y = imbalanced(rng, n=40, ratio=0.1)
+        big_x, big_y = oversample_minority(x, y, target_ratio=0.5, seed=3,
+                                           augment=True)
+        replicas = big_x[len(x):]
+        originals = x[y == 1]
+        exact = 0
+        for replica in replicas:
+            if any(np.allclose(replica, o) for o in originals):
+                exact += 1
+        assert exact < len(replicas)  # most replicas are reoriented
+
+    def test_without_augment_replicas_are_copies(self):
+        rng = np.random.default_rng(3)
+        x, y = imbalanced(rng, n=40, ratio=0.1)
+        big_x, _ = oversample_minority(x, y, target_ratio=0.4, seed=0,
+                                       augment=False)
+        originals = x[y == 1]
+        for replica in big_x[len(x):]:
+            assert any(np.array_equal(replica, o) for o in originals)
+
+    def test_already_balanced_unchanged(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(10, 4, 4, 4))
+        y = np.array([0, 1] * 5, dtype=np.int64)
+        big_x, big_y = oversample_minority(x, y, target_ratio=0.4)
+        assert len(big_x) == 10
+        np.testing.assert_array_equal(big_y, y)
+
+    def test_validation(self):
+        rng = np.random.default_rng(5)
+        x, y = imbalanced(rng)
+        with pytest.raises(ValueError):
+            oversample_minority(x, y[:-1])
+        with pytest.raises(ValueError):
+            oversample_minority(x, y, target_ratio=1.5)
+        with pytest.raises(ValueError):
+            oversample_minority(x, np.zeros(len(x), dtype=np.int64))
+
+    def test_deterministic_per_seed(self):
+        rng = np.random.default_rng(6)
+        x, y = imbalanced(rng)
+        a_x, _ = oversample_minority(x, y, seed=7)
+        b_x, _ = oversample_minority(x, y, seed=7)
+        np.testing.assert_array_equal(a_x, b_x)

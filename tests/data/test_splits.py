@@ -1,0 +1,87 @@
+"""Tests for stratified splitting and k-fold utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import ClipDataset, stratified_kfold, stratified_split
+from repro.layout import Clip, Rect
+
+
+def toy_dataset(n=100, hotspot_ratio=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    window = Rect(0, 0, 100, 100)
+    clips = [
+        Clip(window.shifted(i * 100, 0),
+             window.shifted(i * 100, 0).expanded(-20), rects=[], index=i)
+        for i in range(n)
+    ]
+    labels = np.zeros(n, dtype=np.int64)
+    hot = rng.choice(n, size=int(n * hotspot_ratio), replace=False)
+    labels[hot] = 1
+    tensors = rng.normal(size=(n, 2, 2, 2))
+    flats = rng.normal(size=(n, 4))
+    return ClipDataset("toy", 28, clips, labels, tensors, flats)
+
+
+class TestStratifiedSplit:
+    def test_sizes_and_ratio_preserved(self):
+        ds = toy_dataset(n=200, hotspot_ratio=0.1)
+        train, test = stratified_split(ds, (0.7, 0.3), seed=0)
+        assert len(train) == 140
+        assert len(test) == 60
+        assert train.n_hotspots == 14
+        assert test.n_hotspots == 6
+
+    def test_parts_are_disjoint_and_complete(self):
+        ds = toy_dataset(n=50)
+        parts = stratified_split(ds, (0.5, 0.25, 0.25), seed=1)
+        indices = [c.index for p in parts for c in p.clips]
+        assert sorted(indices) == list(range(50))
+
+    def test_deterministic_per_seed(self):
+        ds = toy_dataset()
+        a, _ = stratified_split(ds, (0.7, 0.3), seed=5)
+        b, _ = stratified_split(ds, (0.7, 0.3), seed=5)
+        assert [c.index for c in a.clips] == [c.index for c in b.clips]
+
+    def test_different_seed_changes_split(self):
+        ds = toy_dataset()
+        a, _ = stratified_split(ds, (0.7, 0.3), seed=1)
+        b, _ = stratified_split(ds, (0.7, 0.3), seed=2)
+        assert [c.index for c in a.clips] != [c.index for c in b.clips]
+
+    def test_validation(self):
+        ds = toy_dataset(n=10)
+        with pytest.raises(ValueError):
+            stratified_split(ds, (0.5, 0.4))
+        with pytest.raises(ValueError):
+            stratified_split(ds, (1.2, -0.2))
+
+
+class TestKFold:
+    def test_each_sample_tested_once(self):
+        ds = toy_dataset(n=60)
+        seen = []
+        for train, test in stratified_kfold(ds, k=5, seed=0):
+            assert len(train) + len(test) == 60
+            seen.extend(c.index for c in test.clips)
+        assert sorted(seen) == list(range(60))
+
+    def test_folds_stratified(self):
+        ds = toy_dataset(n=100, hotspot_ratio=0.2)
+        for _, test in stratified_kfold(ds, k=5, seed=0):
+            assert test.n_hotspots == 4
+
+    def test_train_test_disjoint(self):
+        ds = toy_dataset(n=30)
+        for train, test in stratified_kfold(ds, k=3, seed=0):
+            train_ids = {c.index for c in train.clips}
+            test_ids = {c.index for c in test.clips}
+            assert not train_ids & test_ids
+
+    def test_validation(self):
+        ds = toy_dataset(n=10)
+        with pytest.raises(ValueError):
+            list(stratified_kfold(ds, k=1))
+        with pytest.raises(ValueError):
+            list(stratified_kfold(ds, k=11))

@@ -1,0 +1,133 @@
+"""Tests for DCT-domain augmentation.
+
+The central claim — augmenting the tensor equals re-encoding the
+transformed image — is checked exactly for every orientation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    TENSOR_ORIENTATIONS,
+    augment_tensor,
+    augmentation_batch,
+    dct_encode,
+)
+
+BLOCKS = 6
+BLOCK_SIZE = 8
+GRID = BLOCKS * BLOCK_SIZE
+COEFFS = BLOCK_SIZE * BLOCK_SIZE  # full spectrum: closed under transpose
+
+
+def image_transform(image: np.ndarray, orientation: str) -> np.ndarray:
+    if orientation == "identity":
+        return image
+    if orientation == "flip_x":
+        return image[:, ::-1]
+    if orientation == "flip_y":
+        return image[::-1, :]
+    if orientation == "transpose":
+        return image.T
+    if orientation == "rot90":
+        return image.T[::-1, :]
+    if orientation == "rot180":
+        return image[::-1, ::-1]
+    if orientation == "rot270":
+        return image.T[:, ::-1]
+    if orientation == "antitranspose":
+        return image[::-1, ::-1].T
+    raise AssertionError(orientation)
+
+
+@pytest.mark.parametrize("orientation", TENSOR_ORIENTATIONS)
+def test_tensor_augment_equals_image_transform(orientation):
+    """encode(transform(image)) == augment(encode(image)), exactly."""
+    rng = np.random.default_rng(hash(orientation) % 2**31)
+    image = rng.random((GRID, GRID))
+    direct = dct_encode(
+        np.ascontiguousarray(image_transform(image, orientation)),
+        blocks=BLOCKS, coeffs=COEFFS,
+    )
+    via_tensor = augment_tensor(
+        dct_encode(image, blocks=BLOCKS, coeffs=COEFFS),
+        orientation, block_size=BLOCK_SIZE,
+    )
+    np.testing.assert_allclose(via_tensor, direct, atol=1e-10)
+
+
+def test_identity_returns_copy():
+    rng = np.random.default_rng(0)
+    tensor = rng.random((COEFFS, BLOCKS, BLOCKS))
+    out = augment_tensor(tensor, "identity", BLOCK_SIZE)
+    np.testing.assert_array_equal(out, tensor)
+    out[0, 0, 0] = 999.0
+    assert tensor[0, 0, 0] != 999.0
+
+
+def test_double_flip_is_identity():
+    rng = np.random.default_rng(1)
+    tensor = rng.random((COEFFS, BLOCKS, BLOCKS))
+    out = augment_tensor(
+        augment_tensor(tensor, "flip_x", BLOCK_SIZE), "flip_x", BLOCK_SIZE
+    )
+    np.testing.assert_allclose(out, tensor, atol=1e-14)
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ValueError, match="unknown orientation"):
+        augment_tensor(np.zeros((4, 2, 2)), "twirl", 8)
+    with pytest.raises(ValueError):
+        augment_tensor(np.zeros((4, 2)), "flip_x", 8)
+
+
+def test_partial_zigzag_transpose_rejected():
+    """A zigzag prefix not closed under transposition cannot be
+    transposed in the tensor domain (documented limitation)."""
+    tensor = np.zeros((2, 3, 3))  # 2 channels: (0,0) and (0,1), no (1,0)
+    with pytest.raises(ValueError, match="closed under"):
+        augment_tensor(tensor, "transpose", 8)
+
+
+def test_partial_zigzag_flips_ok():
+    """Flips never permute channels, so any prefix works."""
+    rng = np.random.default_rng(2)
+    tensor = rng.random((10, 4, 4))
+    out = augment_tensor(tensor, "flip_x", 8)
+    assert out.shape == tensor.shape
+
+
+class TestAugmentationBatch:
+    def test_expands_counts(self):
+        rng = np.random.default_rng(3)
+        tensors = rng.random((5, COEFFS, BLOCKS, BLOCKS))
+        labels = np.array([0, 1, 0, 1, 1])
+        big_x, big_y = augmentation_batch(tensors, labels,
+                                          block_size=BLOCK_SIZE)
+        assert big_x.shape[0] == 20
+        assert big_y.shape[0] == 20
+        np.testing.assert_array_equal(big_y[:5], labels)
+
+    def test_first_block_is_identity(self):
+        rng = np.random.default_rng(4)
+        tensors = rng.random((3, COEFFS, BLOCKS, BLOCKS))
+        labels = np.zeros(3, dtype=int)
+        big_x, _ = augmentation_batch(tensors, labels, block_size=BLOCK_SIZE)
+        np.testing.assert_array_equal(big_x[:3], tensors)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            augmentation_batch(np.zeros((3, 1, 2, 2)), np.zeros(2))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from(TENSOR_ORIENTATIONS), st.integers(0, 2**31 - 1))
+def test_augment_preserves_energy(orientation, seed):
+    """Property: every orientation is an orthogonal transform of the
+    tensor (image L2 energy is preserved by flips/rotations)."""
+    rng = np.random.default_rng(seed)
+    tensor = rng.random((COEFFS, BLOCKS, BLOCKS))
+    out = augment_tensor(tensor, orientation, BLOCK_SIZE)
+    assert np.sum(out**2) == pytest.approx(np.sum(tensor**2))

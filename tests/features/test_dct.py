@@ -1,0 +1,92 @@
+"""Tests for block-DCT encoding."""
+
+import numpy as np
+import pytest
+
+from repro.features.dct import block_dct, dct_decode, dct_encode, zigzag_indices
+
+
+class TestZigzag:
+    def test_small_block_order(self):
+        order = zigzag_indices(3)
+        assert order[:6] == [(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+        assert len(order) == 9
+
+    def test_covers_all_cells_once(self):
+        order = zigzag_indices(8)
+        assert len(order) == 64
+        assert len(set(order)) == 64
+
+    def test_low_frequencies_first(self):
+        """Early zigzag entries have small index sums (low frequency)."""
+        order = zigzag_indices(8)
+        sums = [r + c for r, c in order]
+        assert sums == sorted(sums)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            zigzag_indices(0)
+
+
+class TestBlockDct:
+    def test_constant_image_single_dc(self):
+        image = np.full((24, 24), 0.5)
+        spectra = block_dct(image, blocks=3)
+        assert spectra.shape == (3, 3, 8, 8)
+        # DC coefficient of an orthonormal DCT of constant c is c * block_size
+        np.testing.assert_allclose(spectra[:, :, 0, 0], 0.5 * 8)
+        np.testing.assert_allclose(spectra[:, :, 1:, :], 0.0, atol=1e-12)
+        np.testing.assert_allclose(spectra[:, :, 0, 1:], 0.0, atol=1e-12)
+
+    def test_energy_preserved(self):
+        """Orthonormal DCT preserves L2 energy per block."""
+        rng = np.random.default_rng(0)
+        image = rng.random((24, 24))
+        spectra = block_dct(image, blocks=3)
+        assert (spectra**2).sum() == pytest.approx((image**2).sum())
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            block_dct(np.zeros((25, 25)), blocks=3)
+
+
+class TestDctEncodeDecode:
+    def test_encode_shape_channel_first(self):
+        rng = np.random.default_rng(1)
+        tensor = dct_encode(rng.random((96, 96)), blocks=12, coeffs=32)
+        assert tensor.shape == (32, 12, 12)
+
+    def test_dc_channel_is_block_mean(self):
+        image = np.zeros((96, 96))
+        image[:48] = 1.0
+        tensor = dct_encode(image, blocks=12, coeffs=4)
+        # DC channel ~ block mean * block_size for orthonormal norm
+        np.testing.assert_allclose(tensor[0, :6, :], 8.0)
+        np.testing.assert_allclose(tensor[0, 6:, :], 0.0, atol=1e-12)
+
+    def test_full_coeffs_roundtrip(self):
+        rng = np.random.default_rng(2)
+        image = rng.random((24, 24))
+        tensor = dct_encode(image, blocks=3, coeffs=64)
+        recon = dct_decode(tensor, block_size=8)
+        np.testing.assert_allclose(recon, image, atol=1e-10)
+
+    def test_truncated_decode_approximates(self):
+        """Keeping only low frequencies reconstructs smooth structure."""
+        image = np.zeros((96, 96))
+        image[:, :48] = 1.0
+        tensor = dct_encode(image, blocks=12, coeffs=16)
+        recon = dct_decode(tensor, block_size=8)
+        assert np.abs(recon - image).mean() < 0.15
+
+    def test_rejects_too_many_coeffs(self):
+        with pytest.raises(ValueError, match="coefficients"):
+            dct_encode(np.zeros((24, 24)), blocks=3, coeffs=65)
+
+    def test_translation_changes_encoding(self):
+        """Shifted geometry gives different features (no aliasing to same)."""
+        a = np.zeros((96, 96))
+        a[:, 8:24] = 1.0
+        b = np.zeros((96, 96))
+        b[:, 40:56] = 1.0
+        assert not np.allclose(dct_encode(a, 12, 32), dct_encode(b, 12, 32))

@@ -1,0 +1,214 @@
+"""Tests for the litho extensions: SOCS optics, process windows, DRC."""
+
+import numpy as np
+import pytest
+
+from repro.layout import Clip, Rect
+from repro.litho import (
+    DRCRules,
+    LithoSimulator,
+    ProcessWindow,
+    SOCSModel,
+    analyze_process_window,
+    check_clip,
+    drc_screen,
+    duv_model,
+    gauss_hermite_kernel,
+)
+
+
+def make_clip(rects, size=1200, margin=300, idx=0):
+    window = Rect(0, 0, size, size)
+    return Clip(window, window.expanded(-margin), rects=rects, index=idx)
+
+
+class TestGaussHermiteKernel:
+    def test_order_zero_is_gaussian(self):
+        kernel = gauss_hermite_kernel(0, 0, sigma_px=2.0, radius=8)
+        assert kernel.shape == (17, 17)
+        # symmetric, positive, peaked at centre
+        np.testing.assert_allclose(kernel, kernel[::-1, ::-1])
+        assert kernel.min() >= 0
+        assert kernel[8, 8] == kernel.max()
+
+    def test_l2_normalized(self):
+        for orders in ((0, 0), (1, 0), (2, 1)):
+            kernel = gauss_hermite_kernel(*orders, sigma_px=1.5, radius=6)
+            assert (kernel**2).sum() == pytest.approx(1.0)
+
+    def test_higher_orders_have_sign_changes(self):
+        kernel = gauss_hermite_kernel(1, 0, sigma_px=2.0, radius=8)
+        assert kernel.min() < 0 < kernel.max()
+
+    def test_orthogonality(self):
+        """Distinct Hermite orders are orthogonal kernels."""
+        k0 = gauss_hermite_kernel(0, 0, sigma_px=2.0, radius=10)
+        k1 = gauss_hermite_kernel(1, 0, sigma_px=2.0, radius=10)
+        assert abs((k0 * k1).sum()) < 1e-10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            gauss_hermite_kernel(-1, 0, 1.0, 4)
+        with pytest.raises(ValueError):
+            gauss_hermite_kernel(0, 0, 0.0, 4)
+
+
+class TestSOCSModel:
+    def test_clear_field_normalized(self):
+        model = SOCSModel(duv_model(), rank=3)
+        intensity = model.aerial_image(np.ones((32, 32)), pixel_nm=10.0)
+        np.testing.assert_allclose(intensity, 1.0, atol=0.05)
+
+    def test_dark_field_zero(self):
+        model = SOCSModel(duv_model(), rank=3)
+        intensity = model.aerial_image(np.zeros((32, 32)), pixel_nm=10.0)
+        np.testing.assert_allclose(intensity, 0.0, atol=1e-12)
+
+    def test_rank1_close_to_base_model(self):
+        """A rank-1 SOCS is the base Gaussian model up to normalization."""
+        base = duv_model()
+        model = SOCSModel(base, rank=1)
+        mask = np.zeros((48, 48))
+        mask[:, 20:28] = 1.0
+        socs = model.aerial_image(mask, 10.0)
+        plain = base.aerial_image(mask, 10.0)
+        # same spatial structure: peak positions coincide
+        assert np.argmax(socs[24]) == np.argmax(plain[24])
+        np.testing.assert_allclose(socs, plain, atol=0.08)
+
+    def test_higher_rank_adds_sidelobes(self):
+        """Higher-order kernels change the proximity response."""
+        mask = np.zeros((48, 48))
+        mask[:, 22:26] = 1.0
+        low = SOCSModel(duv_model(), rank=1).aerial_image(mask, 10.0)
+        high = SOCSModel(duv_model(), rank=5).aerial_image(mask, 10.0)
+        assert not np.allclose(low, high, atol=1e-3)
+
+    def test_weights_sum_to_one(self):
+        model = SOCSModel(duv_model(), rank=4)
+        weights, kernels = model.kernels(pixel_nm=10.0)
+        assert len(kernels) == 4
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) <= 0)  # decaying
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            SOCSModel(duv_model(), rank=0)
+        with pytest.raises(ValueError):
+            SOCSModel(duv_model(), weight_decay=1.5)
+        model = SOCSModel(duv_model())
+        with pytest.raises(ValueError):
+            model.aerial_image(np.zeros(5), 10.0)
+        with pytest.raises(ValueError):
+            model.aerial_image(np.zeros((4, 4)), 10.0, dose=0)
+
+
+class TestProcessWindow:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        return LithoSimulator.for_tech(28, grid=96)
+
+    def test_robust_pattern_has_wide_window(self, simulator):
+        clip = make_clip([Rect(100, 550, 1100, 650)])  # 100 nm line
+        window = analyze_process_window(simulator, clip,
+                                        dose_steps=5, defocus_steps=3)
+        assert window.window_fraction > 0.9
+        assert window.dose_latitude > 0.8
+
+    def test_marginal_pattern_has_small_window(self, simulator):
+        clip = make_clip(
+            [
+                Rect(100, 540, 550, 660),
+                Rect(650, 540, 1100, 660),
+                Rect(550, 575, 650, 625),  # 50 nm neck at the CD edge
+            ]
+        )
+        robust = make_clip([Rect(100, 550, 1100, 650)])
+        marginal = analyze_process_window(simulator, clip,
+                                          dose_steps=5, defocus_steps=3)
+        wide = analyze_process_window(simulator, robust,
+                                      dose_steps=5, defocus_steps=3)
+        assert marginal.window_fraction < wide.window_fraction
+
+    def test_hopeless_pattern_zero_window(self, simulator):
+        clip = make_clip([Rect(100, 590, 1100, 610)])  # 20 nm line
+        window = analyze_process_window(simulator, clip,
+                                        dose_steps=3, defocus_steps=2)
+        assert window.window_fraction == 0.0
+        assert window.dose_latitude == 0.0
+        assert window.depth_of_focus_nm == 0.0
+
+    def test_grid_shapes(self, simulator):
+        clip = make_clip([Rect(100, 550, 1100, 650)])
+        window = analyze_process_window(
+            simulator, clip, dose_steps=4, defocus_steps=3
+        )
+        assert window.passes.shape == (4, 3)
+        assert len(window.doses) == 4
+        assert len(window.defocus_nm) == 3
+
+    def test_rejects_bad_grid(self, simulator):
+        clip = make_clip([Rect(100, 550, 1100, 650)])
+        with pytest.raises(ValueError):
+            analyze_process_window(simulator, clip, dose_steps=0)
+
+    def test_window_dataclass_properties(self):
+        passes = np.array([[True, False], [True, True], [False, False]])
+        window = ProcessWindow(
+            doses=np.array([0.9, 1.0, 1.1]),
+            defocus_nm=np.array([0.0, 30.0]),
+            passes=passes,
+        )
+        assert window.window_fraction == pytest.approx(0.5)
+        assert window.depth_of_focus_nm == pytest.approx(30.0)
+
+
+class TestDRC:
+    RULES = DRCRules(min_width_nm=50, min_spacing_nm=50)
+
+    def test_clean_clip_passes(self):
+        clip = make_clip([Rect(100, 500, 1100, 620)])  # 120 nm line
+        assert check_clip(clip, self.RULES) == []
+
+    def test_narrow_wire_flagged(self):
+        clip = make_clip([Rect(100, 580, 1100, 610)])  # 30 nm < 50 rule
+        violations = check_clip(clip, self.RULES)
+        assert any(v.kind == "width" for v in violations)
+
+    def test_tight_spacing_flagged(self):
+        clip = make_clip(
+            [Rect(100, 450, 1100, 580), Rect(100, 610, 1100, 740)]  # 30 gap
+        )
+        violations = check_clip(clip, self.RULES)
+        assert any(v.kind == "spacing" for v in violations)
+
+    def test_violation_outside_core_ignored(self):
+        # narrow sliver near the clip edge (outside the 300 nm core)
+        clip = make_clip([Rect(100, 50, 1100, 80), Rect(100, 500, 1100, 650)])
+        assert check_clip(clip, self.RULES) == []
+
+    def test_rejects_bad_rules(self):
+        with pytest.raises(ValueError):
+            DRCRules(min_width_nm=0, min_spacing_nm=10)
+
+    def test_screen_vector(self):
+        clean = make_clip([Rect(100, 500, 1100, 620)], idx=0)
+        dirty = make_clip([Rect(100, 580, 1100, 610)], idx=1)
+        verdicts = drc_screen([clean, dirty], self.RULES)
+        assert verdicts.tolist() == [False, True]
+
+    def test_hotspots_can_be_drc_clean(self):
+        """The raison d'etre of litho hotspot detection: patterns at the
+        drawn rules (DRC-clean) can still fail printing."""
+        sim = LithoSimulator.for_tech(28, grid=96)
+        # 40 nm neck: exactly at a 40 nm width rule (DRC-clean) but
+        # below the simulator's ~50 nm lithographic CD
+        clip = make_clip(
+            [
+                Rect(100, 540, 550, 660),
+                Rect(650, 540, 1100, 660),
+                Rect(550, 580, 650, 620),
+            ]
+        )
+        assert check_clip(clip, DRCRules(40, 40)) == []
+        assert sim.simulate(clip).hotspot

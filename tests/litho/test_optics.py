@@ -1,0 +1,92 @@
+"""Tests for the compact optical model."""
+
+import numpy as np
+import pytest
+
+from repro.litho.optics import OpticalModel, duv_model, euv_model
+
+
+class TestOpticalModel:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            OpticalModel(wavelength_nm=0, na=1.0)
+        with pytest.raises(ValueError):
+            OpticalModel(wavelength_nm=193, na=-1)
+        with pytest.raises(ValueError):
+            OpticalModel(wavelength_nm=193, na=1.0, k1=0)
+
+    def test_resolution_formula(self):
+        model = OpticalModel(wavelength_nm=193, na=1.35, k1=0.35)
+        assert model.resolution_nm == pytest.approx(0.35 * 193 / 1.35)
+
+    def test_euv_resolves_finer_than_duv(self):
+        assert euv_model().resolution_nm < duv_model().resolution_nm
+
+    def test_defocus_broadens_psf(self):
+        model = duv_model()
+        assert model.psf_sigma_nm(50.0) > model.psf_sigma_nm(0.0)
+        assert model.psf_sigma_nm(-50.0) == model.psf_sigma_nm(50.0)
+
+    def test_kernel_normalized(self):
+        kernel = duv_model().psf_kernel(pixel_nm=10.0)
+        assert kernel.sum() == pytest.approx(1.0)
+        assert kernel.shape[0] == kernel.shape[1]
+        assert kernel.shape[0] % 2 == 1
+
+    def test_kernel_symmetric(self):
+        kernel = duv_model().psf_kernel(pixel_nm=10.0, defocus_nm=30.0)
+        np.testing.assert_allclose(kernel, kernel.T)
+        np.testing.assert_allclose(kernel, kernel[::-1, ::-1])
+
+    def test_kernel_rejects_bad_pixel(self):
+        with pytest.raises(ValueError):
+            duv_model().psf_kernel(pixel_nm=0.0)
+
+
+class TestAerialImage:
+    def test_clear_field_is_unit_intensity(self):
+        model = duv_model()
+        intensity = model.aerial_image(np.ones((32, 32)), pixel_nm=10.0)
+        np.testing.assert_allclose(intensity, 1.0, atol=1e-9)
+
+    def test_dark_field_is_zero(self):
+        model = duv_model()
+        intensity = model.aerial_image(np.zeros((32, 32)), pixel_nm=10.0)
+        np.testing.assert_allclose(intensity, 0.0, atol=1e-12)
+
+    def test_dose_scales_intensity(self):
+        model = duv_model()
+        rng = np.random.default_rng(0)
+        mask = (rng.random((24, 24)) > 0.5).astype(float)
+        base = model.aerial_image(mask, 10.0, dose=1.0)
+        boosted = model.aerial_image(mask, 10.0, dose=1.2)
+        np.testing.assert_allclose(boosted, 1.2 * base)
+
+    def test_defocus_blurs_edges(self):
+        """Defocus reduces peak intensity of an isolated narrow line."""
+        model = duv_model()
+        mask = np.zeros((64, 64))
+        mask[:, 30:34] = 1.0  # 40 nm line at 10 nm pixels
+        focused = model.aerial_image(mask, 10.0, defocus_nm=0.0)
+        blurred = model.aerial_image(mask, 10.0, defocus_nm=60.0)
+        assert blurred.max() < focused.max()
+
+    def test_shape_preserved(self):
+        model = euv_model()
+        out = model.aerial_image(np.zeros((40, 56)), 5.0)
+        assert out.shape == (40, 56)
+
+    def test_rejects_bad_inputs(self):
+        model = duv_model()
+        with pytest.raises(ValueError):
+            model.aerial_image(np.zeros((4, 4, 4)), 10.0)
+        with pytest.raises(ValueError):
+            model.aerial_image(np.zeros((4, 4)), 10.0, dose=0.0)
+
+    def test_intensity_bounded_by_dose(self):
+        model = duv_model()
+        rng = np.random.default_rng(1)
+        mask = (rng.random((32, 32)) > 0.3).astype(float)
+        intensity = model.aerial_image(mask, 10.0, dose=1.0)
+        assert intensity.min() >= -1e-12
+        assert intensity.max() <= 1.0 + 1e-9

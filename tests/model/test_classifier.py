@@ -1,0 +1,179 @@
+"""Tests for the hotspot classifier, architectures and scaler."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    HotspotClassifier,
+    TensorScaler,
+    build_hotspot_cnn,
+    build_hotspot_mlp,
+)
+
+
+def synthetic_problem(rng, n=80, shape=(4, 8, 8)):
+    """Separable toy data: class decided by energy in the first channel."""
+    x = rng.normal(size=(n,) + shape)
+    y = np.zeros(n, dtype=np.int64)
+    y[n // 2 :] = 1
+    x[n // 2 :, 0] += 2.0
+    return x, y
+
+
+class TestTensorScaler:
+    def test_standardizes_channels(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(50, 4, 6, 6))
+        z = TensorScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=(0, 2, 3)), 1.0, atol=1e-6)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            TensorScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            TensorScaler().fit(np.zeros((0, 3, 4, 4)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TensorScaler().transform(np.zeros((1, 3, 4, 4)))
+
+
+class TestArchitectures:
+    def test_cnn_shapes(self):
+        net, emb_idx = build_hotspot_cnn((32, 12, 12))
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 32, 12, 12))
+        assert net.forward(x).shape == (2, 2)
+        assert net.forward_to(x, emb_idx).shape == (2, 250)
+
+    def test_cnn_rejects_bad_spatial(self):
+        with pytest.raises(ValueError, match="divisible"):
+            build_hotspot_cnn((32, 10, 10))
+
+    def test_mlp_shapes(self):
+        net, emb_idx = build_hotspot_mlp((8, 6, 6), embedding_dim=16)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 8, 6, 6))
+        assert net.forward(x).shape == (3, 2)
+        assert net.forward_to(x, emb_idx).shape == (3, 16)
+
+    def test_cnn_batchnorm_variant(self):
+        net, emb_idx = build_hotspot_cnn((8, 12, 12), batch_norm=True)
+        from repro.nn import BatchNorm
+
+        assert sum(isinstance(l, BatchNorm) for l in net.layers) == 4
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 8, 12, 12))
+        # training and inference paths both produce logits
+        assert net.forward(x, train=True).shape == (4, 2)
+        assert net.forward(x, train=False).shape == (4, 2)
+        assert net.forward_to(x, emb_idx).shape == (4, 250)
+
+
+class TestHotspotClassifier:
+    def _clf(self, shape=(4, 8, 8), **kwargs):
+        defaults = dict(arch="mlp", epochs=30, lr=3e-3, seed=0)
+        defaults.update(kwargs)
+        return HotspotClassifier(input_shape=shape, **defaults)
+
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(1)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        trace = clf.fit(x, y)
+        assert trace[-1] < trace[0]
+        assert (clf.predict(x) == y).mean() > 0.9
+
+    def test_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y)
+        probs = clf.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_embeddings_normalized(self):
+        rng = np.random.default_rng(3)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y)
+        emb = clf.embeddings(x)
+        norms = np.linalg.norm(emb, axis=1)
+        # ReLU can zero a row entirely; all others must be unit length
+        nonzero = norms > 1e-9
+        np.testing.assert_allclose(norms[nonzero], 1.0, atol=1e-9)
+
+    def test_update_warm_starts(self):
+        """update() continues from current weights, not from scratch."""
+        rng = np.random.default_rng(4)
+        x, y = synthetic_problem(rng)
+        clf = self._clf(epochs=20)
+        clf.fit(x, y)
+        logits_before = clf.predict_logits(x)
+        clf.update(x[:10], y[:10], epochs=1)
+        logits_after = clf.predict_logits(x)
+        # a single tiny epoch perturbs but does not reset the model
+        corr = np.corrcoef(logits_before.ravel(), logits_after.ravel())[0, 1]
+        assert corr > 0.9
+
+    def test_balanced_class_weights_help_minority(self):
+        """With 5% positives, balanced weighting must recall some."""
+        rng = np.random.default_rng(5)
+        n = 200
+        x = rng.normal(size=(n, 4, 8, 8))
+        y = np.zeros(n, dtype=np.int64)
+        y[:10] = 1
+        x[:10, 0] += 2.5
+        clf = self._clf(class_weight="balanced", epochs=40)
+        clf.fit(x, y)
+        recall = (clf.predict(x[:10]) == 1).mean()
+        assert recall >= 0.8
+
+    def test_untrained_raises(self):
+        clf = self._clf()
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((1, 4, 8, 8)))
+        with pytest.raises(RuntimeError):
+            clf.embeddings(np.zeros((1, 4, 8, 8)))
+
+    def test_rejects_bad_inputs(self):
+        clf = self._clf()
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((5, 3, 8, 8)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((5, 4, 8, 8)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((0, 4, 8, 8)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            HotspotClassifier(arch="transformer")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(6)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y)
+        path = tmp_path / "model.npz"
+        clf.save(path)
+        clone = clf.clone_untrained()
+        clone.load(path)
+        np.testing.assert_allclose(
+            clone.predict_logits(x), clf.predict_logits(x), atol=1e-10
+        )
+
+    def test_clone_untrained_is_fresh(self):
+        clf = self._clf()
+        clone = clf.clone_untrained()
+        assert clone is not clf
+        with pytest.raises(RuntimeError):
+            clone.predict(np.zeros((1, 4, 8, 8)))
+
+    def test_cnn_arch_end_to_end_small(self):
+        """The real CNN architecture trains on a tiny problem."""
+        rng = np.random.default_rng(7)
+        x, y = synthetic_problem(rng, n=30, shape=(8, 12, 12))
+        clf = HotspotClassifier(
+            input_shape=(8, 12, 12), arch="cnn", epochs=10, lr=2e-3, seed=0
+        )
+        clf.fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.8

@@ -1,0 +1,99 @@
+"""Tests for the committee (ensemble) classifier."""
+
+import numpy as np
+import pytest
+
+from repro.model import CommitteeClassifier
+
+
+def separable(rng, n=60, shape=(4, 6, 6)):
+    x = rng.normal(size=(n,) + shape)
+    y = np.zeros(n, dtype=np.int64)
+    y[n // 2 :] = 1
+    x[n // 2 :, 0] += 2.0
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    x, y = separable(rng)
+    committee = CommitteeClassifier(input_shape=(4, 6, 6), size=3,
+                                    arch="mlp", epochs=25, seed=0)
+    committee.fit_scaler(x)
+    committee.fit(x, y)
+    return committee, x, y
+
+
+class TestCommittee:
+    def test_rejects_small_committee(self):
+        with pytest.raises(ValueError):
+            CommitteeClassifier(input_shape=(4, 6, 6), size=1)
+
+    def test_members_differ(self, trained):
+        committee, x, _ = trained
+        logits = [m.predict_logits(x[:5]) for m in committee.members]
+        assert not np.allclose(logits[0], logits[1])
+
+    def test_learns(self, trained):
+        committee, x, y = trained
+        assert (committee.predict(x) == y).mean() > 0.9
+
+    def test_mean_logits(self, trained):
+        committee, x, _ = trained
+        expected = np.mean(
+            [m.predict_logits(x[:4]) for m in committee.members], axis=0
+        )
+        np.testing.assert_allclose(
+            committee.predict_logits(x[:4]), expected
+        )
+
+    def test_proba_rows_normalized(self, trained):
+        committee, x, _ = trained
+        probs = committee.predict_proba(x[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_vote_entropy_range_and_meaning(self, trained):
+        committee, x, _ = trained
+        entropy = committee.vote_entropy(x)
+        assert np.all(entropy >= -1e-12)
+        assert np.all(entropy <= np.log(2) + 1e-12)
+        # clearly separable samples should be mostly unanimous
+        assert (entropy < 1e-9).mean() > 0.5
+
+    def test_disagreement_nonnegative(self, trained):
+        committee, x, _ = trained
+        assert np.all(committee.disagreement(x) >= 0)
+
+    def test_disagreement_high_on_ood_samples(self, trained):
+        """Far-off-distribution inputs split the committee more than
+        training data does (on average)."""
+        committee, x, _ = trained
+        rng = np.random.default_rng(5)
+        ood = rng.normal(scale=8.0, size=(40, 4, 6, 6))
+        assert committee.disagreement(ood).mean() >= \
+            committee.disagreement(x).mean() * 0.5  # sanity, not strict
+
+    def test_clone_untrained(self, trained):
+        committee, x, _ = trained
+        clone = committee.clone_untrained()
+        assert len(clone.members) == len(committee.members)
+        with pytest.raises(RuntimeError):
+            clone.predict(x[:1])
+
+    def test_drops_into_framework(self, iccad16_2_small):
+        """The committee satisfies the framework's classifier contract."""
+        from repro.core import FrameworkConfig, PSHDFramework
+
+        cfg = FrameworkConfig(
+            n_query=60, k_batch=10, n_iterations=2, init_train=24,
+            val_size=20, arch="mlp", epochs_initial=6, epochs_update=2,
+            seed=0,
+        )
+        committee = CommitteeClassifier(
+            input_shape=iccad16_2_small.tensors.shape[1:], size=2,
+            arch="mlp", epochs=6, seed=0,
+        )
+        result = PSHDFramework(iccad16_2_small, cfg,
+                               classifier=committee).run()
+        assert 0.0 <= result.accuracy <= 1.0

@@ -1,0 +1,133 @@
+"""Tests for the classifier evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    ConfusionMatrix,
+    auc,
+    classification_report,
+    confusion_matrix,
+    pr_curve,
+    roc_curve,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y = np.array([1, 1, 0, 0, 1])
+        p = np.array([1, 0, 0, 1, 1])
+        cm = confusion_matrix(y, p)
+        assert (cm.tp, cm.fp, cm.tn, cm.fn) == (2, 1, 1, 1)
+
+    def test_derived_metrics(self):
+        cm = ConfusionMatrix(tp=8, fp=2, tn=88, fn=2)
+        assert cm.accuracy == pytest.approx(0.96)
+        assert cm.precision == pytest.approx(0.8)
+        assert cm.recall == pytest.approx(0.8)
+        assert cm.f1 == pytest.approx(0.8)
+        assert cm.false_alarm_rate == pytest.approx(2 / 90)
+
+    def test_zero_division_guarded(self):
+        cm = ConfusionMatrix(tp=0, fp=0, tn=5, fn=0)
+        assert cm.precision == 0.0
+        assert cm.recall == 0.0
+        assert cm.f1 == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 0], [1])
+        with pytest.raises(ValueError):
+            confusion_matrix([], [])
+
+    def test_report_contains_fields(self):
+        report = classification_report([1, 0, 1], [1, 0, 0])
+        assert "precision" in report
+        assert "false_alarm_rate" in report
+
+
+class TestRocCurve:
+    def test_perfect_separation_auc_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert auc(fpr, tpr) == pytest.approx(0.5, abs=0.03)
+
+    def test_curve_endpoints(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.2, 0.9, 0.6, 0.4])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve([1, 1], [0.5, 0.6])
+
+
+class TestPrCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        precision, recall, _ = pr_curve(y, scores)
+        assert precision[0] == 1.0
+        assert recall[-1] == 1.0
+        assert np.all(precision[recall <= 1.0] >= 0)
+
+    def test_all_negative_scores_low_precision_tail(self):
+        y = np.array([1, 0, 0, 0])
+        scores = np.array([0.1, 0.9, 0.8, 0.7])  # positive ranked last
+        precision, recall, _ = pr_curve(y, scores)
+        assert precision[-1] == pytest.approx(0.25)
+
+    def test_requires_positives(self):
+        with pytest.raises(ValueError):
+            pr_curve([0, 0], [0.5, 0.6])
+
+
+class TestAuc:
+    def test_unit_square_diagonal(self):
+        assert auc(np.array([0, 1]), np.array([0, 1])) == pytest.approx(0.5)
+
+    def test_order_insensitive(self):
+        x = np.array([1.0, 0.0, 0.5])
+        y = np.array([1.0, 0.0, 0.5])
+        assert auc(x, y) == pytest.approx(0.5)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            auc(np.array([1.0]), np.array([1.0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 60), st.integers(0, 2**31 - 1))
+def test_roc_auc_bounded(n, seed):
+    """Property: AUC of any score vector lies in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    y = np.zeros(n, dtype=int)
+    y[: max(1, n // 3)] = 1
+    rng.shuffle(y)
+    if y.sum() in (0, n):
+        return
+    scores = rng.random(n)
+    fpr, tpr, _ = roc_curve(y, scores)
+    value = auc(fpr, tpr)
+    assert -1e-9 <= value <= 1.0 + 1e-9

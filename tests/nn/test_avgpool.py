@@ -1,0 +1,42 @@
+"""Tests for the AvgPool2D layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D
+from repro.nn.gradcheck import check_layer_gradients
+
+
+class TestAvgPool2D:
+    def test_forward_known_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_constant_invariant(self):
+        x = np.full((2, 3, 6, 6), 7.0)
+        np.testing.assert_allclose(AvgPool2D(3).forward(x), 7.0)
+
+    def test_gradients(self):
+        rng = np.random.default_rng(0)
+        layer = AvgPool2D(2)
+        x = rng.normal(size=(2, 3, 4, 4))
+        check_layer_gradients(layer, x, rng)
+
+    def test_gradient_distributes_evenly(self):
+        layer = AvgPool2D(2)
+        x = np.zeros((1, 1, 4, 4))
+        layer.forward(x, train=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        np.testing.assert_allclose(grad, 0.25)
+
+    def test_rejects_non_tiling(self):
+        with pytest.raises(ValueError, match="tile"):
+            AvgPool2D(3).forward(np.zeros((1, 1, 4, 4)))
+
+    def test_rejects_bad_pool_size(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+
+    def test_output_dim(self):
+        assert AvgPool2D(2).output_dim((8, 12, 12)) == (8, 6, 6)

@@ -1,0 +1,223 @@
+"""Gradient checks and behavioural tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestDense:
+    def test_forward_shape_and_values(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.weight[...] = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        layer.bias[...] = np.array([0.5, -0.5])
+        x = np.array([[1.0, 2.0, 3.0]])
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, [[4.5, 4.5]])
+
+    def test_gradients(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        check_layer_gradients(layer, x, rng)
+
+    def test_rejects_wrong_input_width(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ValueError, match="expected"):
+            layer.forward(np.zeros((2, 5)))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, -1)
+
+    def test_backward_requires_training_forward(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        layer.forward(np.zeros((1, 2)), train=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        layer = Conv2D(3, 8, kernel_size=3, pad=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 12, 12)))
+        assert out.shape == (2, 8, 12, 12)
+
+    def test_forward_known_values(self, rng):
+        """Averaging kernel on a constant image returns the constant."""
+        layer = Conv2D(1, 1, kernel_size=3, pad=0, rng=rng)
+        layer.weight[...] = np.full((1, 1, 3, 3), 1.0 / 9.0)
+        layer.bias[...] = 0.0
+        out = layer.forward(np.full((1, 1, 5, 5), 7.0))
+        np.testing.assert_allclose(out, np.full((1, 1, 3, 3), 7.0))
+
+    def test_gradients(self, rng):
+        layer = Conv2D(2, 3, kernel_size=3, pad=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        check_layer_gradients(layer, x, rng)
+
+    def test_gradients_strided(self, rng):
+        layer = Conv2D(1, 2, kernel_size=2, stride=2, rng=rng)
+        x = rng.normal(size=(2, 1, 4, 4))
+        check_layer_gradients(layer, x, rng)
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = Conv2D(3, 4, rng=rng)
+        with pytest.raises(ValueError, match="expected"):
+            layer.forward(np.zeros((1, 2, 8, 8)))
+
+    def test_output_dim(self, rng):
+        layer = Conv2D(3, 8, kernel_size=3, pad=1, rng=rng)
+        assert layer.output_dim((3, 12, 12)) == (8, 12, 12)
+
+
+class TestMaxPool2D:
+    def test_forward_known_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradient_routes_to_argmax(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        layer.forward(x, train=True)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(grad[0, 0], expected)
+
+    def test_gradients_numeric(self, rng):
+        # distinct values so argmax is stable under perturbation
+        layer = MaxPool2D(2)
+        x = rng.permutation(64).astype(np.float64).reshape(1, 4, 4, 4)
+        check_layer_gradients(layer, x, rng)
+
+    def test_multichannel_independence(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = MaxPool2D(2).forward(x)
+        for c in range(3):
+            single = MaxPool2D(2).forward(x[:, c : c + 1])
+            np.testing.assert_allclose(out[:, c : c + 1], single)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "layer_cls", [ReLU, LeakyReLU, Sigmoid, Tanh], ids=lambda c: c.__name__
+    )
+    def test_gradients(self, layer_cls, rng):
+        layer = layer_cls()
+        x = rng.normal(size=(4, 6)) + 0.1  # avoid the ReLU kink at 0
+        check_layer_gradients(layer, x, rng)
+
+    def test_relu_clamps_negative(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(alpha=0.1).forward(np.array([[-10.0, 10.0]]))
+        np.testing.assert_allclose(out, [[-1.0, 10.0]])
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+
+class TestFlattenAndPool:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 5))
+        out = layer.forward(x, train=True)
+        assert out.shape == (2, 60)
+        back = layer.backward(out)
+        np.testing.assert_allclose(back, x)
+
+    def test_gap_forward(self):
+        x = np.ones((2, 3, 4, 4)) * np.arange(3).reshape(1, 3, 1, 1)
+        out = GlobalAveragePool2D().forward(x)
+        np.testing.assert_allclose(out, [[0, 1, 2], [0, 1, 2]])
+
+    def test_gap_gradients(self, rng):
+        layer = GlobalAveragePool2D()
+        x = rng.normal(size=(2, 3, 3, 3))
+        check_layer_gradients(layer, x, rng)
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_allclose(layer.forward(x, train=False), x)
+
+    def test_preserves_expectation(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer.forward(x, train=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_mask_reused_in_backward(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        x = np.ones((4, 4))
+        out = layer.forward(x, train=True)
+        grad = layer.backward(np.ones((4, 4)))
+        np.testing.assert_allclose(grad, out)
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self, rng):
+        layer = BatchNorm(5)
+        x = rng.normal(loc=3.0, scale=2.0, size=(64, 5))
+        out = layer.forward(x, train=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_gradients_2d(self, rng):
+        layer = BatchNorm(3)
+        x = rng.normal(size=(6, 3))
+        check_layer_gradients(layer, x, rng, atol=1e-5, rtol=1e-3)
+
+    def test_gradients_4d(self, rng):
+        layer = BatchNorm(2)
+        x = rng.normal(size=(3, 2, 4, 4))
+        check_layer_gradients(layer, x, rng, atol=1e-5, rtol=1e-3)
+
+    def test_running_stats_converge(self, rng):
+        layer = BatchNorm(4, momentum=0.5)
+        for _ in range(50):
+            layer.forward(rng.normal(loc=2.0, size=(128, 4)), train=True)
+        np.testing.assert_allclose(layer.running_mean, 2.0, atol=0.2)
+        np.testing.assert_allclose(layer.running_var, 1.0, atol=0.2)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm(4)
+        for _ in range(20):
+            layer.forward(rng.normal(size=(64, 4)), train=True)
+        x = rng.normal(size=(8, 4))
+        out1 = layer.forward(x, train=False)
+        out2 = layer.forward(x, train=False)
+        np.testing.assert_allclose(out1, out2)

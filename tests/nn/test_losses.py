@@ -1,0 +1,111 @@
+"""Tests for softmax utilities and the cross-entropy loss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.gradcheck import numeric_gradient
+from repro.nn.losses import SoftmaxCrossEntropy, log_softmax, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.normal(size=(10, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_logits_stable(self):
+        probs = softmax(np.array([[1000.0, -1000.0]]))
+        assert np.all(np.isfinite(probs))
+        np.testing.assert_allclose(probs, [[1.0, 0.0]], atol=1e-12)
+
+    def test_log_softmax_consistent(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            log_softmax(logits), np.log(softmax(logits)), atol=1e-12
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=6),
+        elements=st.floats(-50, 50),
+    )
+)
+def test_softmax_is_probability_distribution(logits):
+    """Property: softmax output is a valid probability distribution."""
+    probs = softmax(logits)
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-10)
+
+    def test_uniform_prediction_log_c(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss(np.zeros((4, 3)), np.array([0, 1, 2, 0]))
+        assert value == pytest.approx(np.log(3))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 3, size=6)
+        loss = SoftmaxCrossEntropy()
+
+        def objective():
+            return loss(logits, labels)
+
+        objective()
+        analytic = loss.backward()
+        numeric = numeric_gradient(objective, logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_class_weights_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(5, 2))
+        labels = rng.integers(0, 2, size=5)
+        loss = SoftmaxCrossEntropy(class_weights=np.array([1.0, 5.0]))
+
+        def objective():
+            return loss(logits, labels)
+
+        objective()
+        analytic = loss.backward()
+        numeric = numeric_gradient(objective, logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_class_weights_emphasize_minority(self):
+        logits = np.array([[2.0, 0.0], [2.0, 0.0]])
+        labels = np.array([0, 1])
+        plain = SoftmaxCrossEntropy()(logits, labels)
+        weighted = SoftmaxCrossEntropy(class_weights=np.array([1.0, 10.0]))(
+            logits, labels
+        )
+        # the misclassified minority sample dominates the weighted loss
+        assert weighted > plain
+
+    def test_rejects_bad_shapes(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss(np.zeros((3,)), np.array([0]))
+        with pytest.raises(ValueError):
+            loss(np.zeros((3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            loss(np.zeros((2, 2)), np.array([0, 5]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()

@@ -1,0 +1,94 @@
+"""Tests for optimizers: exact update formulas and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, Momentum
+
+
+def quadratic_groups(param):
+    """Parameter groups for minimizing ``0.5 * ||p - 3||^2``."""
+    grad = param - 3.0
+    return [(("p",), param, grad)]
+
+
+class TestSGD:
+    def test_update_formula(self):
+        param = np.array([1.0, 2.0])
+        grad = np.array([0.5, -0.5])
+        SGD(lr=0.1).step([(("p",), param, grad)])
+        np.testing.assert_allclose(param, [0.95, 2.05])
+
+    def test_converges_on_quadratic(self):
+        param = np.zeros(3)
+        opt = SGD(lr=0.2)
+        for _ in range(100):
+            opt.step(quadratic_groups(param))
+        np.testing.assert_allclose(param, 3.0, atol=1e-6)
+
+    def test_weight_decay_applies_to_matrices_only(self):
+        opt = SGD(lr=1.0, weight_decay=0.1)
+        mat = np.ones((2, 2))
+        vec = np.ones(2)
+        opt.step([(("m",), mat, np.zeros((2, 2))), (("v",), vec, np.zeros(2))])
+        np.testing.assert_allclose(mat, 0.9)  # decayed
+        np.testing.assert_allclose(vec, 1.0)  # biases not decayed
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, weight_decay=-1)
+
+
+class TestMomentum:
+    def test_accumulates_velocity(self):
+        param = np.array([0.0])
+        opt = Momentum(lr=0.1, momentum=0.9)
+        grad = np.array([1.0])
+        opt.step([(("p",), param, grad)])
+        np.testing.assert_allclose(param, [-0.1])
+        opt.step([(("p",), param, grad)])
+        # v2 = 0.9*(-0.1) - 0.1 = -0.19
+        np.testing.assert_allclose(param, [-0.29])
+
+    def test_converges_on_quadratic(self):
+        param = np.zeros(3)
+        opt = Momentum(lr=0.05, momentum=0.9)
+        for _ in range(400):
+            opt.step(quadratic_groups(param))
+        np.testing.assert_allclose(param, 3.0, atol=1e-5)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        """Adam's bias-corrected first step is ~lr regardless of grad scale."""
+        for scale in (1e-4, 1.0, 1e4):
+            param = np.array([0.0])
+            Adam(lr=0.01).step([(("p",), param, np.array([scale]))])
+            assert param[0] == pytest.approx(-0.01, rel=1e-4)
+
+    def test_converges_on_quadratic(self):
+        param = np.zeros(3)
+        opt = Adam(lr=0.1)
+        for _ in range(500):
+            opt.step(quadratic_groups(param))
+        np.testing.assert_allclose(param, 3.0, atol=1e-4)
+
+    def test_separate_state_per_slot(self):
+        opt = Adam(lr=0.1)
+        p1, p2 = np.array([0.0]), np.array([0.0])
+        opt.step([(("a",), p1, np.array([1.0]))])
+        opt.step([(("b",), p2, np.array([1.0]))])
+        # both got a bias-corrected first step, not a second step
+        assert p1[0] == pytest.approx(p2[0])
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)

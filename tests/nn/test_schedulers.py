@@ -1,0 +1,77 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, CosineAnnealing, LinearWarmup, StepDecay
+
+
+class TestStepDecay:
+    def test_halves_every_step(self):
+        opt = SGD(lr=1.0)
+        sched = StepDecay(opt, step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(6)]
+        assert rates == [1.0, 0.5, 0.5, 0.25, 0.25, 0.125]
+        assert opt.lr == 0.125
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            StepDecay(SGD(lr=1.0), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(SGD(lr=1.0), gamma=0.0)
+
+
+class TestCosineAnnealing:
+    def test_decays_to_min(self):
+        opt = SGD(lr=1.0)
+        sched = CosineAnnealing(opt, t_max=10, min_lr=0.01)
+        rates = [sched.step() for _ in range(10)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(0.01)
+
+    def test_holds_after_t_max(self):
+        opt = SGD(lr=1.0)
+        sched = CosineAnnealing(opt, t_max=4, min_lr=0.05)
+        for _ in range(4):
+            sched.step()
+        assert sched.step() == pytest.approx(0.05)
+
+    def test_halfway_is_midpoint(self):
+        opt = SGD(lr=1.0)
+        sched = CosineAnnealing(opt, t_max=8, min_lr=1e-9)
+        for _ in range(4):
+            rate = sched.step()
+        assert rate == pytest.approx(0.5, abs=1e-6)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            CosineAnnealing(SGD(lr=1.0), t_max=0)
+        with pytest.raises(ValueError):
+            CosineAnnealing(SGD(lr=1.0), t_max=5, min_lr=0.0)
+
+
+class TestLinearWarmup:
+    def test_ramps_then_holds(self):
+        opt = SGD(lr=1.0)
+        sched = LinearWarmup(opt, warmup_epochs=4, start_factor=0.2)
+        rates = [sched.step() for _ in range(6)]
+        assert rates[0] == pytest.approx(0.4)
+        assert rates[3] == pytest.approx(1.0)
+        assert rates[5] == pytest.approx(1.0)
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(SGD(lr=1.0), warmup_epochs=0)
+        with pytest.raises(ValueError):
+            LinearWarmup(SGD(lr=1.0), start_factor=0.0)
+
+
+def test_scheduler_drives_training_rate():
+    """Schedulers actually change optimizer updates."""
+    opt = SGD(lr=1.0)
+    sched = StepDecay(opt, step_size=1, gamma=0.1)
+    param = np.array([0.0])
+    sched.step()  # lr -> 0.1
+    opt.step([(("p",), param, np.array([1.0]))])
+    assert param[0] == pytest.approx(-0.1)

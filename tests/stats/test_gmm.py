@@ -1,0 +1,96 @@
+"""Tests for the GaussianMixture EM implementation."""
+
+import numpy as np
+import pytest
+
+from repro.stats import GaussianMixture
+
+
+def two_blob_data(rng, n=200, separation=8.0):
+    a = rng.normal(0.0, 1.0, size=(n, 2))
+    b = rng.normal(separation, 1.0, size=(n, 2))
+    return np.vstack([a, b])
+
+
+class TestFit:
+    def test_recovers_two_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        x = two_blob_data(rng)
+        gmm = GaussianMixture(n_components=2, seed=1).fit(x)
+        means = np.sort(gmm.means_[:, 0])
+        assert means[0] == pytest.approx(0.0, abs=0.5)
+        assert means[1] == pytest.approx(8.0, abs=0.5)
+        np.testing.assert_allclose(gmm.weights_, 0.5, atol=0.05)
+
+    def test_converges(self):
+        rng = np.random.default_rng(1)
+        gmm = GaussianMixture(n_components=2, seed=0).fit(two_blob_data(rng))
+        assert gmm.converged_
+        assert gmm.n_iter_ < 100
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=0)
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=2).fit(np.zeros(10))
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=5).fit(np.zeros((3, 2)))
+
+    def test_variance_floor(self):
+        """Duplicated points cannot produce zero variances."""
+        x = np.tile([[1.0, 2.0]], (50, 1))
+        gmm = GaussianMixture(n_components=1, reg_covar=1e-6).fit(x)
+        assert np.all(gmm.variances_ >= 1e-6)
+
+
+class TestPosteriors:
+    def test_responsibilities_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        x = two_blob_data(rng)
+        gmm = GaussianMixture(n_components=3, seed=0).fit(x)
+        resp = gmm.predict_proba(x)
+        assert resp.shape == (len(x), 3)
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(resp >= 0)
+
+    def test_outliers_get_low_posterior(self):
+        """Rare patterns (far from all clusters) score lowest — the
+        property Algorithm 2 relies on to find hotspot-like samples."""
+        rng = np.random.default_rng(3)
+        x = two_blob_data(rng)
+        gmm = GaussianMixture(n_components=2, seed=0).fit(x)
+        inliers = gmm.posterior(x)
+        outlier = gmm.posterior(np.array([[4.0, 30.0]]))
+        assert outlier[0] < np.percentile(inliers, 1)
+
+    def test_posterior_in_unit_interval(self):
+        rng = np.random.default_rng(4)
+        x = two_blob_data(rng)
+        gmm = GaussianMixture(n_components=2, seed=0).fit(x)
+        post = gmm.posterior(x)
+        assert post.min() >= 0.0
+        assert post.max() <= 1.0
+
+    def test_predict_hard_assignment(self):
+        rng = np.random.default_rng(5)
+        x = two_blob_data(rng, n=100)
+        gmm = GaussianMixture(n_components=2, seed=0).fit(x)
+        labels = gmm.predict(x)
+        # samples from the same blob should nearly all share a label
+        first, second = labels[:100], labels[100:]
+        assert (first == first[0]).mean() > 0.95
+        assert (second == second[0]).mean() > 0.95
+        assert first[0] != second[0]
+
+    def test_unfitted_raises(self):
+        gmm = GaussianMixture(n_components=2)
+        with pytest.raises(RuntimeError):
+            gmm.score_samples(np.zeros((3, 2)))
+
+    def test_score_samples_matches_density_ordering(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(300, 2))
+        gmm = GaussianMixture(n_components=1, seed=0).fit(x)
+        near = gmm.score_samples(np.array([[0.0, 0.0]]))
+        far = gmm.score_samples(np.array([[5.0, 5.0]]))
+        assert near[0] > far[0]

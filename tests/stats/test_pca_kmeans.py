@@ -1,0 +1,96 @@
+"""Tests for PCA and KMeans."""
+
+import numpy as np
+import pytest
+
+from repro.stats import KMeans, PCA, kmeans_pp_init
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=500)
+        x = np.column_stack([3 * t, t * 0.01 + rng.normal(scale=0.01, size=500)])
+        pca = PCA(1).fit(x)
+        direction = np.abs(pca.components_[0])
+        assert direction[0] > 0.99  # variance lives on axis 0
+
+    def test_transform_reduces_dimension(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 10))
+        z = PCA(3).fit_transform(x)
+        assert z.shape == (50, 3)
+
+    def test_roundtrip_full_rank(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 5))
+        pca = PCA(5).fit(x)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(x)), x, atol=1e-10
+        )
+
+    def test_explained_variance_ratio_sums_below_one(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 8))
+        pca = PCA(3).fit(x)
+        ratio = pca.explained_variance_ratio_
+        assert np.all(ratio >= 0)
+        assert ratio.sum() <= 1.0 + 1e-9
+        assert np.all(np.diff(ratio) <= 1e-12)  # sorted descending
+
+    def test_caps_components_at_rank(self):
+        x = np.zeros((4, 10))
+        x[:, 0] = [1, 2, 3, 4]
+        pca = PCA(8).fit(x)
+        assert pca.components_.shape[0] == 4
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((3, 5)))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(ValueError):
+            PCA(2).fit(np.zeros(5))
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0, 0.5, size=(100, 2))
+        b = rng.normal(10, 0.5, size=(100, 2))
+        km = KMeans(2, seed=0).fit(np.vstack([a, b]))
+        labels_a = km.labels_[:100]
+        labels_b = km.labels_[100:]
+        assert (labels_a == labels_a[0]).all()
+        assert (labels_b == labels_b[0]).all()
+        assert labels_a[0] != labels_b[0]
+
+    def test_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(200, 2))
+        inertias = [KMeans(k, seed=0).fit(x).inertia_ for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_predict_matches_fit_labels(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(100, 3))
+        km = KMeans(3, seed=0).fit(x)
+        np.testing.assert_array_equal(km.predict(x), km.labels_)
+
+    def test_pp_init_spreads_centres(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(0, 0.1, size=(50, 2))
+        b = rng.normal(20, 0.1, size=(50, 2))
+        centres = kmeans_pp_init(np.vstack([a, b]), 2, rng)
+        gap = np.linalg.norm(centres[0] - centres[1])
+        assert gap > 10.0
+
+    def test_pp_init_rejects_k_too_large(self):
+        with pytest.raises(ValueError):
+            kmeans_pp_init(np.zeros((3, 2)), 5, np.random.default_rng(0))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
