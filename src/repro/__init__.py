@@ -21,6 +21,9 @@ Subpackages
     GMM / PCA / k-means used for query-set formation and baselines.
 ``repro.baselines``
     Pattern matching (exact and fuzzy), TS, and QP comparison methods.
+``repro.engine``
+    Inference engine: cached-scaling inference sessions, the run event
+    bus, and the name-keyed method registry.
 ``repro.bench``
     Experiment harness reproducing every table and figure of the paper.
 """

@@ -1,6 +1,15 @@
 """Baseline methods (S10): pattern matching (exact + fuzzy), the TS and
-QP active-learning baselines, and extra sanity selectors."""
+QP active-learning baselines, and extra sanity selectors.
 
+Importing this package registers every built-in method — the AL
+selectors (from :mod:`.samplers`) and the ``pm-*`` pattern-matching
+flows (below) — in the engine method registry, making them reachable by
+name from the framework, the CLI and the bench harness.
+"""
+
+import functools
+
+from ..engine.registry import MethodSpec, register_method
 from .badge import badge_gradient_embedding, badge_selector, cluster_selector
 from .pattern_matching import PM_MODES, PatternMatcher, run_pattern_matching
 from .qp import project_capped_simplex, qp_selector, solve_qp_relaxation
@@ -11,6 +20,14 @@ from .samplers import (
     random_selector,
     ts_selector,
 )
+
+for _mode in PM_MODES:
+    register_method(MethodSpec(
+        name=f"pm-{_mode}",
+        runner=functools.partial(run_pattern_matching, mode=_mode),
+        description=f"pattern-matching flow, {_mode} criterion",
+    ))
+del _mode
 
 __all__ = [
     "PatternMatcher",

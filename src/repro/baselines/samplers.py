@@ -7,7 +7,9 @@
   selection, an extra baseline beyond the paper.
 
 ``make_config`` builds a :class:`~repro.core.framework.FrameworkConfig`
-for any named method so experiment code stays declarative.
+for any named method so experiment code stays declarative; it is a thin
+wrapper over the method registry (:mod:`repro.engine.registry`), where
+every selector below is registered by name.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import numpy as np
 from ..core.framework import FrameworkConfig, SelectionContext
 from ..core.sampling import SamplingConfig
 from ..core.uncertainty import hotspot_aware_uncertainty
+from ..engine.registry import MethodSpec, get_method, register_method
 from .badge import badge_selector, cluster_selector
 from .qp import qp_selector
 
@@ -66,43 +69,54 @@ def kcenter_selector(context: SelectionContext) -> np.ndarray:
 METHODS = ("ours", "ts", "qp", "random", "kcenter", "badge", "cluster")
 
 
+register_method(MethodSpec(
+    name="ours",
+    selector=None,  # built-in EntropySampling (Alg. 1)
+    configure=lambda cfg: replace(cfg, sampling=SamplingConfig()),
+    description="EntropySampling (Alg. 1), keeps unselected queries",
+))
+register_method(MethodSpec(
+    name="ts",
+    selector=ts_selector,
+    description="calibrated hotspot-aware uncertainty only",
+))
+# [14] runs two-step sampling with a small first-step query set (about
+# 2k) and discards its unselected remainder each round — the
+# pattern-loss behaviour the paper critiques.
+register_method(MethodSpec(
+    name="qp",
+    selector=qp_selector,
+    discard_query_rest=True,
+    configure=lambda cfg: replace(cfg, n_query=max(2 * cfg.k_batch, 2)),
+    description="uncalibrated BvSB + relaxed-QP diversity, per [14]",
+))
+register_method(MethodSpec(
+    name="random",
+    selector=random_selector,
+    description="uniform random batch (sanity floor)",
+))
+register_method(MethodSpec(
+    name="kcenter",
+    selector=kcenter_selector,
+    description="greedy k-centre over embeddings (core-set style)",
+))
+register_method(MethodSpec(
+    name="badge",
+    selector=badge_selector,
+    description="k-means++ seeding over gradient embeddings",
+))
+register_method(MethodSpec(
+    name="cluster",
+    selector=cluster_selector,
+    description="k-means clustering diversity",
+))
+
+
 def make_config(method: str, base: FrameworkConfig | None = None) -> FrameworkConfig:
     """Framework configuration for a named Table II method.
 
     ``base`` carries the shared hyperparameters (batch sizes, epochs,
-    seed); only the selection strategy differs between methods:
-
-    * ``ours``   — EntropySampling (Alg. 1), keeps unselected queries.
-    * ``ts``     — calibrated uncertainty only.
-    * ``qp``     — uncalibrated BvSB + relaxed-QP diversity, and discards
-      unselected query samples, both mirroring [14].
-    * ``random`` / ``kcenter`` — sanity baselines.
+    seed); only the selection strategy differs between methods — see
+    the registry entries above for what each name does.
     """
-    base = base if base is not None else FrameworkConfig()
-    if method == "ours":
-        return replace(base, selector=None, method_name="ours",
-                       discard_query_rest=False,
-                       sampling=SamplingConfig())
-    if method == "ts":
-        return replace(base, selector=ts_selector, method_name="ts",
-                       discard_query_rest=False)
-    if method == "qp":
-        # [14] runs two-step sampling with a small first-step query set
-        # (about 2k) and discards its unselected remainder each round —
-        # the pattern-loss behaviour the paper critiques.
-        return replace(base, selector=qp_selector, method_name="qp",
-                       discard_query_rest=True,
-                       n_query=max(2 * base.k_batch, 2))
-    if method == "random":
-        return replace(base, selector=random_selector, method_name="random",
-                       discard_query_rest=False)
-    if method == "kcenter":
-        return replace(base, selector=kcenter_selector, method_name="kcenter",
-                       discard_query_rest=False)
-    if method == "badge":
-        return replace(base, selector=badge_selector, method_name="badge",
-                       discard_query_rest=False)
-    if method == "cluster":
-        return replace(base, selector=cluster_selector, method_name="cluster",
-                       discard_query_rest=False)
-    raise ValueError(f"unknown method {method!r}; known: {METHODS}")
+    return get_method(method).build_config(base)

@@ -19,6 +19,7 @@ from .harness import (
     load_dataset,
     run_method,
     run_method_averaged,
+    run_method_instrumented,
     write_report,
 )
 from .store import ResultStore
@@ -32,6 +33,7 @@ __all__ = [
     "base_framework_config",
     "bench_seeds",
     "run_method",
+    "run_method_instrumented",
     "run_method_averaged",
     "format_table",
     "write_report",

@@ -18,11 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines import make_config, run_pattern_matching
 from ..core.framework import FrameworkConfig, PSHDFramework
 from ..core.metrics import PSHDResult
 from ..data.benchmarks import build_benchmark
 from ..data.dataset import ClipDataset
+from ..engine import EventBus, EventLog, get_method
 
 __all__ = [
     "BenchSetting",
@@ -32,6 +32,7 @@ __all__ = [
     "load_dataset",
     "base_framework_config",
     "run_method",
+    "run_method_instrumented",
     "run_method_averaged",
     "format_table",
     "write_report",
@@ -100,18 +101,39 @@ def base_framework_config(name: str, seed: int = 0) -> FrameworkConfig:
 
 def run_method(
     dataset: ClipDataset, method: str, name: str, seed: int = 0,
-    config: FrameworkConfig | None = None,
+    config: FrameworkConfig | None = None, bus: EventBus | None = None,
 ) -> PSHDResult:
     """Run one Table II method on one benchmark dataset.
 
-    ``method`` is an AL method name (``ours``/``ts``/``qp``/``random``/
-    ``kcenter``) or a PM mode prefixed ``pm-`` (``pm-exact`` etc.).
+    ``method`` is any name in the engine method registry: an AL method
+    (``ours``/``ts``/``qp``/``random``/``kcenter``/...) or a
+    pattern-matching flow (``pm-exact`` etc.).  ``bus`` lets callers
+    subscribe instrumentation to AL runs (ignored for PM flows, which
+    bypass the framework).
     """
-    if method.startswith("pm-"):
-        return run_pattern_matching(dataset, method[3:], seed=seed)
+    spec = get_method(method)
+    if not spec.is_framework_method:
+        return spec.run(dataset, seed=seed)
     base = config if config is not None else base_framework_config(name, seed)
-    cfg = make_config(method, base)
-    return PSHDFramework(dataset, cfg).run()
+    return PSHDFramework(dataset, spec.build_config(base), bus=bus).run()
+
+
+def run_method_instrumented(
+    dataset: ClipDataset, method: str, name: str, seed: int = 0,
+    config: FrameworkConfig | None = None,
+) -> tuple[PSHDResult, EventLog]:
+    """Like :func:`run_method`, returning the full event trace as well.
+
+    The :class:`EventLog` carries per-stage timings
+    (``EventLog.stage_seconds()``) and litho counts for benchmark
+    instrumentation; only AL methods emit events, a PM flow returns an
+    empty log.
+    """
+    bus = EventBus()
+    log = bus.subscribe(EventLog())
+    result = run_method(dataset, method, name, seed=seed, config=config,
+                        bus=bus)
+    return result, log
 
 
 def run_method_averaged(

@@ -58,6 +58,14 @@ def build_detect_parser() -> argparse.ArgumentParser:
                         help="validation-set size (default 24)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--arch", choices=("mlp", "cnn"), default="mlp")
+    from ..engine import framework_method_names
+
+    parser.add_argument("--method", choices=framework_method_names(),
+                        default="ours",
+                        help="batch-selection method from the engine "
+                             "registry (default: ours)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-iteration progress lines")
     parser.add_argument("--report", default=None,
                         help="write detected hotspot windows to this file")
     parser.add_argument("--svg", default=None,
@@ -71,6 +79,7 @@ def detect_main(argv=None) -> int:
     from ..data.dataset import ClipDataset
     from ..core.framework import FrameworkConfig, PSHDFramework
     from ..data.synth import DUV_RULES, EUV_RULES
+    from ..engine import EventBus, ProgressPrinter
     from ..features.pipeline import FeatureExtractor
     from ..layout.clip import extract_clip_grid
     from ..layout.gds import load_gds
@@ -137,8 +146,12 @@ def detect_main(argv=None) -> int:
         val_size=args.val_size,
         arch=args.arch,
         seed=args.seed,
+        selector=args.method,  # resolved through the engine registry
     )
-    result = PSHDFramework(dataset, config).run()
+    bus = EventBus()
+    if not args.quiet:
+        bus.subscribe(ProgressPrinter())
+    result = PSHDFramework(dataset, config, bus=bus).run()
 
     print(f"\ndetection accuracy (Eq. 1): {100 * result.accuracy:.2f}%")
     print(f"litho-clips (Eq. 2):        {result.litho} "

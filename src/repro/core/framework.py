@@ -19,7 +19,18 @@ benchmark dataset:
    score with Eqs. (1)–(2).
 
 Baselines (TS, QP, random) plug in through the ``selector`` hook, which
-receives the same calibrated probabilities and embeddings.
+receives the same calibrated probabilities and embeddings; ``selector``
+also accepts a registered method name (see
+:mod:`repro.engine.registry`).
+
+``run()`` is decomposed into composable stages — ``seed``, then per
+iteration ``calibrate`` / ``select`` / ``update``, then ``detect`` —
+wired through an :class:`~repro.engine.session.InferenceSession` (the
+pool tensor is scaled once per run, and each query batch gets logits +
+embeddings from a single tapped forward pass).  Every stage transition
+is published on an :class:`~repro.engine.events.EventBus`; run history
+is rebuilt from those events by a
+:class:`~repro.engine.events.HistoryRecorder` subscriber.
 """
 
 from __future__ import annotations
@@ -32,6 +43,8 @@ import numpy as np
 
 from ..calibration.temperature import TemperatureScaler
 from ..data.dataset import ClipDataset, DatasetLabeler
+from ..engine.events import EventBus, HistoryRecorder
+from ..engine.session import InferenceSession
 from ..model.classifier import HotspotClassifier
 from ..nn.losses import softmax
 from ..stats.gmm import GaussianMixture
@@ -65,6 +78,22 @@ Selector = Callable[[SelectionContext], np.ndarray]
 
 
 @dataclass
+class _RunState:
+    """Mutable state threaded through the run stages."""
+
+    posterior: np.ndarray
+    train_idx: list[int]
+    y_train: list[int]
+    val_idx: np.ndarray
+    y_val: np.ndarray
+    pool: list[int]
+    temperature: TemperatureScaler
+    discarded: list[int] = field(default_factory=list)
+    batch_hotspot_trace: list[int] = field(default_factory=list)
+    iterations_run: int = 0
+
+
+@dataclass
 class FrameworkConfig:
     """Hyperparameters of Algorithm 2.
 
@@ -91,7 +120,11 @@ class FrameworkConfig:
     lr: float = 1e-3
     seed: int = 0
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
-    selector: Selector | None = None
+    #: a selector callable, a registered method name (resolved through
+    #: repro.engine.registry, which may also adjust other fields — e.g.
+    #: ``"qp"`` turns on query-remainder discarding), or None for the
+    #: paper's EntropySampling
+    selector: Selector | str | None = None
     method_name: str = "ours"
     #: discard unselected query samples each iteration, as the QP flow of
     #: [14] does (the paper keeps them — its second critique of [14])
@@ -123,9 +156,17 @@ class PSHDFramework:
         dataset: ClipDataset,
         config: FrameworkConfig | None = None,
         classifier: HotspotClassifier | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.dataset = dataset
         self.config = config if config is not None else FrameworkConfig()
+        if isinstance(self.config.selector, str):
+            from ..engine.registry import get_method
+
+            self.config = get_method(self.config.selector).build_config(
+                self.config
+            )
+        self.bus = bus if bus is not None else EventBus()
         if len(dataset) < self.config.init_train + self.config.val_size + 1:
             raise ValueError(
                 f"dataset of {len(dataset)} clips too small for "
@@ -239,12 +280,13 @@ class PSHDFramework:
         }
 
     # ------------------------------------------------------------------
-    def run(self) -> PSHDResult:
-        """Execute Algorithm 2 and score the result (Eqs. (1)-(2))."""
+    # run stages (Alg. 2 decomposed; each stage emits one bus event)
+    # ------------------------------------------------------------------
+    def _stage_seed(self) -> _RunState:
+        """Lines 1-5: posterior fit, split, label L0/V0, initial train."""
         cfg = self.config
         dataset = self.dataset
-        rng = np.random.default_rng(cfg.seed)
-        started = time.perf_counter()
+        stage_start = time.perf_counter()
 
         posterior = self._fit_posterior()
         train_idx, val_idx, pool = self._split(posterior)
@@ -263,120 +305,212 @@ class PSHDFramework:
             epochs=cfg.epochs_initial,
         )
 
-        history: list[dict] = []
-        temperature = TemperatureScaler()
-        iterations_run = 0
-        discarded: list[int] = []
-        batch_hotspot_trace: list[int] = []
+        state = _RunState(
+            posterior=posterior,
+            train_idx=train_idx,
+            y_train=y_train,
+            val_idx=val_idx,
+            y_val=y_val,
+            pool=pool,
+            temperature=TemperatureScaler(),
+        )
+        self.bus.emit(
+            "run_start",
+            benchmark=dataset.name,
+            method=cfg.method_name,
+            pool_size=len(pool),
+            n_train=len(train_idx),
+            n_val=len(val_idx),
+            litho_used=self.labeler.query_count,
+            seed_seconds=time.perf_counter() - stage_start,
+        )
+        return state
 
-        for iteration in range(1, cfg.n_iterations + 1):
-            if not pool:
-                break
+    def _calibrate(self, session: InferenceSession, state: _RunState) -> None:
+        """Line 8: fit T on the validation set (identity when the D5
+        ablation turns calibration off).  One helper serves both the AL
+        loop and the final detection stage."""
+        if self.config.calibrate:
+            state.temperature.fit(session.logits(state.val_idx), state.y_val)
+        else:
+            state.temperature.temperature_ = 1.0
 
-            # line 7: query set = n lowest-posterior pool samples
-            pool_arr = np.array(pool)
-            order = np.argsort(posterior[pool_arr], kind="stable")
-            query = pool_arr[order[: cfg.n_query]]
+    def _stage_select(
+        self,
+        session: InferenceSession,
+        state: _RunState,
+        rng: np.random.Generator,
+        iteration: int,
+    ) -> tuple[np.ndarray, np.ndarray, dict] | None:
+        """Lines 7+9: form the query set and run the batch selector.
 
-            # line 8: temperature on the validation set (identity when
-            # the D5 ablation turns calibration off)
-            if cfg.calibrate:
-                val_logits = self.classifier.predict_logits(
-                    dataset.tensors[val_idx]
+        Returns ``(query, batch, diagnostics)`` with global dataset
+        indices, or ``None`` when the configured stopping criterion
+        fires (the loop guard of Alg. 2).
+        """
+        cfg = self.config
+        stage_start = time.perf_counter()
+
+        # line 7: query set = n lowest-posterior pool samples
+        pool_arr = np.array(state.pool)
+        order = np.argsort(state.posterior[pool_arr], kind="stable")
+        query = pool_arr[order[: cfg.n_query]]
+
+        # line 9: EntropySampling over the query set — calibrated probs
+        # and embeddings come from one tapped forward pass
+        query_logits, query_embeddings = session.predict_full(query)
+        context = SelectionContext(
+            calibrated_probs=state.temperature.transform(query_logits),
+            raw_probs=softmax(query_logits),
+            embeddings=query_embeddings,
+            k=cfg.k_batch,
+            rng=rng,
+        )
+        # optional termination condition (Alg. 2's loop guard)
+        if cfg.stop_when is not None:
+            loop_state = LoopState(
+                iteration=iteration,
+                litho_used=self.labeler.query_count,
+                pool_size=len(state.pool),
+                max_uncertainty=float(
+                    hotspot_aware_uncertainty(context.calibrated_probs).max()
                 )
-                temperature.fit(val_logits, y_val)
-            else:
-                temperature.temperature_ = 1.0
-
-            # line 9: EntropySampling over the query set
-            query_logits = self.classifier.predict_logits(dataset.tensors[query])
-            context = SelectionContext(
-                calibrated_probs=temperature.transform(query_logits),
-                raw_probs=softmax(query_logits),
-                embeddings=self.classifier.embeddings(dataset.tensors[query]),
-                k=cfg.k_batch,
-                rng=rng,
+                if len(query)
+                else 0.0,
+                recent_batch_hotspots=state.batch_hotspot_trace,
             )
-            # optional termination condition (Alg. 2's loop guard)
-            if cfg.stop_when is not None:
-                state = LoopState(
-                    iteration=iteration,
-                    litho_used=self.labeler.query_count,
-                    pool_size=len(pool),
-                    max_uncertainty=float(
-                        hotspot_aware_uncertainty(
-                            context.calibrated_probs
-                        ).max()
-                    )
-                    if len(query)
-                    else 0.0,
-                    recent_batch_hotspots=batch_hotspot_trace,
-                )
-                if cfg.stop_when(state):
-                    break
-            iterations_run = iteration
+            if cfg.stop_when(loop_state):
+                return None
 
-            chosen_local, diag = self._select(context)
-            batch = query[chosen_local]
+        chosen_local, diag = self._select(context)
+        batch = query[chosen_local]
+        self.bus.emit(
+            "batch_selected",
+            iteration=iteration,
+            selected=[int(i) for i in batch],
+            query_size=int(len(query)),
+            temperature=float(state.temperature.temperature_),
+            select_seconds=time.perf_counter() - stage_start,
+        )
+        return query, batch, diag
 
-            # lines 10-11: label the batch, move it from U to L.  Our
-            # method returns unselected query samples to the pool; the
-            # discard_query_rest flag reproduces [14]'s behaviour of
-            # dropping the whole query set.
-            y_batch = self.labeler.label_many(batch)
-            batch_hotspot_trace.append(int(np.sum(y_batch)))
-            train_idx.extend(int(i) for i in batch)
-            y_train.extend(int(label) for label in y_batch)
-            removed = set(int(i) for i in batch)
-            if cfg.discard_query_rest:
-                rest = set(int(i) for i in query) - removed
-                discarded.extend(rest)
-                removed |= rest
-            pool = [i for i in pool if i not in removed]
+    def _stage_update(
+        self,
+        state: _RunState,
+        iteration: int,
+        query: np.ndarray,
+        batch: np.ndarray,
+        diag: dict,
+    ) -> None:
+        """Lines 10-12: label the batch, move it from U to L, fine-tune.
 
-            # line 12: update the model on the enlarged training set
-            self.classifier.update(
-                dataset.tensors[train_idx],
-                np.array(y_train),
-                epochs=cfg.epochs_update,
-            )
+        Our method returns unselected query samples to the pool; the
+        ``discard_query_rest`` flag reproduces [14]'s behaviour of
+        dropping the whole query set.
+        """
+        cfg = self.config
+        stage_start = time.perf_counter()
 
-            history.append(
-                {
-                    "iteration": iteration,
-                    "train_size": len(train_idx),
-                    "hotspots_in_train": int(np.sum(y_train)),
-                    "temperature": float(temperature.temperature_),
-                    "batch_hotspots": int(np.sum(y_batch)),
-                    **diag,
-                }
-            )
+        y_batch = self.labeler.label_many(batch)
+        state.batch_hotspot_trace.append(int(np.sum(y_batch)))
+        state.train_idx.extend(int(i) for i in batch)
+        state.y_train.extend(int(label) for label in y_batch)
+        removed = set(int(i) for i in batch)
+        if cfg.discard_query_rest:
+            rest = set(int(i) for i in query) - removed
+            state.discarded.extend(rest)
+            removed |= rest
+        state.pool = [i for i in state.pool if i not in removed]
 
-        # full-chip detection on the remaining unlabeled clips (pool plus
-        # anything a discarding baseline dropped) with the calibrated model
-        pool = pool + discarded
+        # line 12: update the model on the enlarged training set
+        self.classifier.update(
+            self.dataset.tensors[state.train_idx],
+            np.array(state.y_train),
+            epochs=cfg.epochs_update,
+        )
+
+        self.bus.emit(
+            "model_updated",
+            iteration=iteration,
+            train_size=len(state.train_idx),
+            hotspots_in_train=int(np.sum(state.y_train)),
+            temperature=float(state.temperature.temperature_),
+            batch_hotspots=int(np.sum(y_batch)),
+            litho_used=self.labeler.query_count,
+            update_seconds=time.perf_counter() - stage_start,
+            diagnostics=diag,
+        )
+
+    def _stage_detect(
+        self, session: InferenceSession, state: _RunState
+    ) -> tuple[int, int]:
+        """Full-chip detection on the remaining unlabeled clips (pool
+        plus anything a discarding baseline dropped) with the calibrated
+        model.  Returns ``(hits, false_alarms)``."""
+        stage_start = time.perf_counter()
+        state.pool = state.pool + state.discarded
         hits = 0
         false_alarms = 0
-        if pool:
-            pool_arr = np.array(pool)
-            if cfg.calibrate:
-                val_logits = self.classifier.predict_logits(
-                    dataset.tensors[val_idx]
-                )
-                temperature.fit(val_logits, y_val)
-            else:
-                temperature.temperature_ = 1.0
-            pool_logits = self.classifier.predict_logits(dataset.tensors[pool_arr])
-            predicted_hot = temperature.transform(pool_logits)[:, 1] > 0.5
-            actual = dataset.labels[pool_arr].astype(bool)
+        if state.pool:
+            pool_arr = np.array(state.pool)
+            self._calibrate(session, state)
+            pool_logits = session.logits(pool_arr)
+            predicted_hot = (
+                state.temperature.transform(pool_logits)[:, 1] > 0.5
+            )
+            actual = self.dataset.labels[pool_arr].astype(bool)
             hits = int(np.sum(predicted_hot & actual))
             false_alarms = int(np.sum(predicted_hot & ~actual))
+        self.bus.emit(
+            "detection_done",
+            scanned=len(state.pool),
+            hits=hits,
+            false_alarms=false_alarms,
+            litho_used=self.labeler.query_count + false_alarms,
+            detect_seconds=time.perf_counter() - stage_start,
+        )
+        return hits, false_alarms
+
+    def run(self) -> PSHDResult:
+        """Execute Algorithm 2 and score the result (Eqs. (1)-(2))."""
+        cfg = self.config
+        dataset = self.dataset
+        rng = np.random.default_rng(cfg.seed)
+        started = time.perf_counter()
+
+        session = InferenceSession(self.classifier, dataset.tensors)
+        recorder = self.bus.subscribe(HistoryRecorder())
+        try:
+            state = self._stage_seed()
+
+            for iteration in range(1, cfg.n_iterations + 1):
+                if not state.pool:
+                    break
+                self.bus.emit(
+                    "iteration_start",
+                    iteration=iteration,
+                    pool_size=len(state.pool),
+                    litho_used=self.labeler.query_count,
+                )
+                self._calibrate(session, state)
+                selection = self._stage_select(session, state, rng, iteration)
+                if selection is None:
+                    break
+                state.iterations_run = iteration
+                query, batch, diag = selection
+                self._stage_update(state, iteration, query, batch, diag)
+
+            hits, false_alarms = self._stage_detect(session, state)
+        finally:
+            self.bus.unsubscribe(recorder)
 
         elapsed = time.perf_counter() - started
-        hs_train = int(np.sum(y_train))
-        hs_val = int(np.sum(y_val))
+        hs_train = int(np.sum(state.y_train))
+        hs_val = int(np.sum(state.y_val))
         accuracy = pshd_accuracy(hs_train, hs_val, hits, dataset.n_hotspots)
-        litho = litho_overhead(len(train_idx), len(val_idx), false_alarms)
+        litho = litho_overhead(
+            len(state.train_idx), len(state.val_idx), false_alarms
+        )
 
         return PSHDResult(
             benchmark=dataset.name,
@@ -385,11 +519,11 @@ class PSHDFramework:
             litho=litho,
             hits=hits,
             false_alarms=false_alarms,
-            n_train=len(train_idx),
-            n_val=len(val_idx),
+            n_train=len(state.train_idx),
+            n_val=len(state.val_idx),
             hs_total=dataset.n_hotspots,
-            iterations=iterations_run,
+            iterations=state.iterations_run,
             pshd_seconds=elapsed,
-            history=history,
+            history=recorder.history,
             labeled=self.labeler.labeled_indices,
         )

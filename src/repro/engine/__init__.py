@@ -1,0 +1,46 @@
+"""Inference engine (S12): session caching, event bus, method registry.
+
+The production-shaped inference layer under the AL framework:
+
+* :class:`InferenceSession` — scales the pool tensor once per scaler
+  fit and serves batched logits/embeddings from the cache, including
+  the single-pass :meth:`~InferenceSession.predict_full` tap.
+* :class:`EventBus` + typed events — run observability as subscribers
+  (history recording, CLI progress, bench instrumentation).
+* the method registry — every Table II method reachable by name from
+  the framework, CLI and bench harness alike.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    Event,
+    EventBus,
+    EventLog,
+    HistoryRecorder,
+    ProgressPrinter,
+)
+from .registry import (
+    MethodSpec,
+    framework_method_names,
+    get_method,
+    method_names,
+    register_method,
+    resolve_selector,
+)
+from .session import InferenceSession
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventBus",
+    "EventLog",
+    "HistoryRecorder",
+    "ProgressPrinter",
+    "InferenceSession",
+    "MethodSpec",
+    "register_method",
+    "get_method",
+    "method_names",
+    "framework_method_names",
+    "resolve_selector",
+]

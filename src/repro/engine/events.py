@@ -1,0 +1,204 @@
+"""Typed event bus for run observability.
+
+The PSHD framework emits one event per stage transition instead of
+threading progress dicts through its call tree; history recording, CLI
+progress lines and bench-harness instrumentation are all plain
+subscribers.  Events are cheap synchronous callbacks — the hot loop pays
+nothing when nobody listens.
+
+Event kinds and their payloads:
+
+``run_start``
+    ``benchmark, method, pool_size, n_train, n_val, litho_used,
+    seed_seconds`` — emitted once after the seed stage (GMM posterior,
+    split, initial training).
+``iteration_start``
+    ``iteration, pool_size, litho_used`` — top of every AL iteration.
+``batch_selected``
+    ``iteration, selected, query_size, temperature, select_seconds`` —
+    after the batch selector ran; ``selected`` holds global dataset
+    indices.
+``model_updated``
+    ``iteration, train_size, hotspots_in_train, temperature,
+    batch_hotspots, litho_used, update_seconds, diagnostics`` — after
+    the labeled batch fine-tuned the model; ``diagnostics`` carries the
+    selector's extra outputs (entropy weights etc.).
+``detection_done``
+    ``scanned, hits, false_alarms, litho_used, detect_seconds`` — after
+    the full-chip scan of the remaining pool.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventBus",
+    "EventLog",
+    "HistoryRecorder",
+    "ProgressPrinter",
+]
+
+#: the five stage-transition events of one PSHD run, in emission order
+EVENT_KINDS = (
+    "run_start",
+    "iteration_start",
+    "batch_selected",
+    "model_updated",
+    "detection_done",
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One immutable stage-transition notification."""
+
+    kind: str
+    seq: int
+    payload: dict = field(default_factory=dict)
+
+
+#: subscriber signature
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for :class:`Event`.
+
+    Handlers run in subscription order; a handler subscribed with
+    ``kinds`` only sees those event kinds.  Emitting an unknown kind is
+    a programming error and raises immediately.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[Handler, frozenset[str] | None]] = []
+        self._seq = 0
+
+    def subscribe(
+        self, handler: Handler, kinds: Iterable[str] | None = None
+    ) -> Handler:
+        """Register ``handler``; returns it so inline lambdas can be
+        unsubscribed later."""
+        if kinds is not None:
+            kinds = frozenset(kinds)
+            unknown = kinds - set(EVENT_KINDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown event kinds {sorted(unknown)}; "
+                    f"known: {EVENT_KINDS}"
+                )
+        self._subscribers.append((handler, kinds))
+        return handler
+
+    def unsubscribe(self, handler: Handler) -> None:
+        self._subscribers = [
+            (h, k) for h, k in self._subscribers if h is not handler
+        ]
+
+    def emit(self, kind: str, **payload) -> Event:
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; known: {EVENT_KINDS}"
+            )
+        event = Event(kind=kind, seq=self._seq, payload=payload)
+        self._seq += 1
+        for handler, kinds in list(self._subscribers):
+            if kinds is None or kind in kinds:
+                handler(event)
+        return event
+
+
+class EventLog:
+    """Subscriber that records every event — bench instrumentation and
+    test assertions read the ordered trace back."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        return [event.kind for event in self.events]
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Total seconds per instrumented stage across the run."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            for key, value in event.payload.items():
+                if key.endswith("_seconds"):
+                    stage = key[: -len("_seconds")]
+                    totals[stage] = totals.get(stage, 0.0) + float(value)
+        return totals
+
+
+class HistoryRecorder:
+    """Rebuilds ``PSHDResult.history`` from ``model_updated`` events.
+
+    The entry layout (keys and value types) matches the pre-event-bus
+    inline dicts exactly, so downstream table/figure code is unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.history: list[dict] = []
+
+    def __call__(self, event: Event) -> None:
+        if event.kind != "model_updated":
+            return
+        payload = event.payload
+        self.history.append(
+            {
+                "iteration": payload["iteration"],
+                "train_size": payload["train_size"],
+                "hotspots_in_train": payload["hotspots_in_train"],
+                "temperature": payload["temperature"],
+                "batch_hotspots": payload["batch_hotspots"],
+                **payload.get("diagnostics", {}),
+            }
+        )
+
+
+class ProgressPrinter:
+    """Subscriber printing one human-readable line per stage (CLI)."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def __call__(self, event: Event) -> None:
+        payload = event.payload
+        if event.kind == "run_start":
+            line = (
+                f"[{payload['method']}] seeded: {payload['n_train']} train "
+                f"+ {payload['n_val']} val labeled, "
+                f"pool {payload['pool_size']} "
+                f"({payload['seed_seconds']:.1f}s)"
+            )
+        elif event.kind == "iteration_start":
+            line = (
+                f"iteration {payload['iteration']}: "
+                f"pool {payload['pool_size']}, "
+                f"litho-clips so far {payload['litho_used']}"
+            )
+        elif event.kind == "model_updated":
+            line = (
+                f"  labeled {payload['batch_hotspots']} hotspots in batch, "
+                f"train {payload['train_size']} "
+                f"({payload['hotspots_in_train']} HS), "
+                f"T={payload['temperature']:.3f}"
+            )
+        elif event.kind == "detection_done":
+            line = (
+                f"detection: {payload['hits']} hits, "
+                f"{payload['false_alarms']} false alarms over "
+                f"{payload['scanned']} scanned clips"
+            )
+        else:
+            return
+        print(line, file=self.stream)

@@ -1,0 +1,143 @@
+"""Name-keyed registry of PSHD methods (batch selectors + PM runners).
+
+One table maps every method name of Table II — ``ours``, the AL
+baselines, and the pattern-matching flows — to how it runs, so the
+framework, the CLI and the bench harness all resolve methods the same
+way instead of each hard-coding its own dispatch.
+
+Framework methods carry a batch :data:`Selector` plus the config tweaks
+that method needs (e.g. the QP baseline discards its query remainder and
+shrinks the query set, mirroring [14]); pattern-matching methods carry a
+standalone ``runner`` because they bypass the AL framework entirely.
+
+Built-in methods live in :mod:`repro.baselines`, which registers itself
+on import; the registry imports it lazily on first lookup so there is no
+import cycle with :mod:`repro.core.framework`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.framework import FrameworkConfig, Selector
+    from ..core.metrics import PSHDResult
+    from ..data.dataset import ClipDataset
+
+__all__ = [
+    "MethodSpec",
+    "register_method",
+    "get_method",
+    "method_names",
+    "framework_method_names",
+    "resolve_selector",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """How one named method runs.
+
+    Exactly one of two shapes:
+
+    * framework method — ``runner is None``; :meth:`build_config` turns a
+      base :class:`FrameworkConfig` into this method's config
+      (``selector=None`` means the built-in EntropySampling path).
+    * standalone method — ``runner`` executes the whole flow itself
+      (pattern matching), signature ``runner(dataset, seed=0)``.
+    """
+
+    name: str
+    selector: "Selector | None" = None
+    discard_query_rest: bool = False
+    #: optional extra config tweak applied after the standard fields
+    configure: "Callable[[FrameworkConfig], FrameworkConfig] | None" = None
+    runner: "Callable[..., PSHDResult] | None" = None
+    description: str = ""
+
+    @property
+    def is_framework_method(self) -> bool:
+        return self.runner is None
+
+    def build_config(
+        self, base: "FrameworkConfig | None" = None
+    ) -> "FrameworkConfig":
+        """This method's framework config on top of ``base``."""
+        if not self.is_framework_method:
+            raise ValueError(
+                f"{self.name!r} is a standalone method; call run() instead"
+            )
+        from ..core.framework import FrameworkConfig
+
+        base = base if base is not None else FrameworkConfig()
+        config = replace(
+            base,
+            selector=self.selector,
+            method_name=self.name,
+            discard_query_rest=self.discard_query_rest,
+        )
+        if self.configure is not None:
+            config = self.configure(config)
+        return config
+
+    def run(
+        self, dataset: "ClipDataset", seed: int = 0, **kwargs
+    ) -> "PSHDResult":
+        """Execute a standalone method (pattern matching)."""
+        if self.is_framework_method:
+            raise ValueError(
+                f"{self.name!r} is a framework method; use build_config()"
+            )
+        return self.runner(dataset, seed=seed, **kwargs)
+
+
+_REGISTRY: dict[str, MethodSpec] = {}
+
+
+def register_method(spec: MethodSpec, overwrite: bool = False) -> MethodSpec:
+    """Add ``spec`` to the registry (``overwrite=True`` to replace)."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"method {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_builtins() -> None:
+    # repro.baselines registers every built-in method when imported
+    from .. import baselines  # noqa: F401
+
+
+def get_method(name: str) -> MethodSpec:
+    """Look up a method by name; raises ``ValueError`` when unknown."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; known: {method_names()}"
+        ) from None
+
+
+def method_names() -> tuple[str, ...]:
+    """All registered method names, registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def framework_method_names() -> tuple[str, ...]:
+    """Names of methods that run through :class:`PSHDFramework`."""
+    _ensure_builtins()
+    return tuple(
+        name for name, spec in _REGISTRY.items() if spec.is_framework_method
+    )
+
+
+def resolve_selector(name: str) -> "Selector | None":
+    """The batch selector of a framework method (``None`` = built-in
+    EntropySampling)."""
+    spec = get_method(name)
+    if not spec.is_framework_method:
+        raise ValueError(f"{name!r} has no batch selector (standalone method)")
+    return spec.selector

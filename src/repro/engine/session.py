@@ -1,0 +1,97 @@
+"""Inference session: scaled-tensor caching + batched prediction.
+
+The AL loop runs inference on overlapping index sets of one fixed pool
+tensor every iteration (validation logits for temperature fitting, query
+logits + embeddings for selection, remaining-pool logits for detection).
+Standardizing the input is a per-element affine map, so the session
+scales the whole pool **once per scaler fit** and serves every later
+request from the cached tensor — ``TensorScaler.transform`` disappears
+from the hot loop.  The cache keys on ``HotspotClassifier.scaler_version``
+and refreshes automatically when the scaler is refitted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.classifier import FullPrediction, HotspotClassifier
+
+__all__ = ["InferenceSession"]
+
+
+class InferenceSession:
+    """Serves predictions over one fixed tensor pool for one classifier.
+
+    Parameters
+    ----------
+    classifier:
+        The trained (or in-training) classifier; its scaler and network
+        are used directly, no copies are made.
+    tensors:
+        The full ``(N, C, H, W)`` pool the run operates on (e.g.
+        ``ClipDataset.tensors``).  Index arguments below refer to rows
+        of this tensor.
+    """
+
+    def __init__(
+        self, classifier: HotspotClassifier, tensors: np.ndarray
+    ) -> None:
+        self.classifier = classifier
+        self.tensors = np.asarray(tensors, dtype=np.float64)
+        self._scaled: np.ndarray | None = None
+        self._scaled_version: int | None = None
+
+    # ------------------------------------------------------------------
+    # scaled-tensor cache
+    # ------------------------------------------------------------------
+    @property
+    def scaled(self) -> np.ndarray:
+        """The whole pool, standardized — computed once per scaler fit."""
+        version = self.classifier.scaler_version
+        if self._scaled is None or self._scaled_version != version:
+            self._scaled = self.classifier.scaler.transform(self.tensors)
+            self._scaled_version = version
+        return self._scaled
+
+    def invalidate(self) -> None:
+        """Drop the cache (forces a re-scale on next access)."""
+        self._scaled = None
+        self._scaled_version = None
+
+    @property
+    def cache_valid(self) -> bool:
+        return (
+            self._scaled is not None
+            and self._scaled_version == self.classifier.scaler_version
+        )
+
+    def _slice(self, indices: np.ndarray | None) -> np.ndarray:
+        if indices is None:
+            return self.scaled
+        return self.scaled[np.asarray(indices)]
+
+    # ------------------------------------------------------------------
+    # batched prediction
+    # ------------------------------------------------------------------
+    def logits(self, indices: np.ndarray | None = None) -> np.ndarray:
+        """Raw logits for the given pool rows (all rows when ``None``)."""
+        return self.classifier.predict_logits(
+            self._slice(indices), prescaled=True
+        )
+
+    def predict_full(
+        self, indices: np.ndarray | None = None, normalize: bool = True
+    ) -> FullPrediction:
+        """Logits + embeddings for the given rows in one forward pass."""
+        return self.classifier.predict_full(
+            self._slice(indices), normalize=normalize, prescaled=True
+        )
+
+    def embeddings(
+        self, indices: np.ndarray | None = None, normalize: bool = True
+    ) -> np.ndarray:
+        """Embedding features only (prefer :meth:`predict_full` when the
+        logits are needed as well)."""
+        return self.classifier.embeddings(
+            self._slice(indices), normalize=normalize, prescaled=True
+        )

@@ -1,7 +1,7 @@
 """Hotspot model substrate (S6): CNN/MLP architectures, input scaling,
 and the trainable classifier with embedding access."""
 
-from .classifier import HotspotClassifier
+from .classifier import FullPrediction, HotspotClassifier
 from .cnn import EMBEDDING_DIM, build_hotspot_cnn, build_hotspot_mlp
 from .committee import CommitteeClassifier
 from .evaluation import (
@@ -16,6 +16,7 @@ from .scaler import TensorScaler
 
 __all__ = [
     "HotspotClassifier",
+    "FullPrediction",
     "CommitteeClassifier",
     "build_hotspot_cnn",
     "build_hotspot_mlp",

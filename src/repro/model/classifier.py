@@ -9,13 +9,22 @@ the L2-normalized FC-embedding features consumed by the diversity metric
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 
 from ..nn import Adam, SoftmaxCrossEntropy, softmax
 from .cnn import build_hotspot_cnn, build_hotspot_mlp
 from .scaler import TensorScaler
 
-__all__ = ["HotspotClassifier"]
+__all__ = ["FullPrediction", "HotspotClassifier"]
+
+
+class FullPrediction(NamedTuple):
+    """Logits and embedding features from one tapped forward pass."""
+
+    logits: np.ndarray
+    embeddings: np.ndarray
 
 
 class HotspotClassifier:
@@ -72,6 +81,10 @@ class HotspotClassifier:
         builder = build_hotspot_cnn if arch == "cnn" else build_hotspot_mlp
         self.network, self._embedding_index = builder(self.input_shape, rng=rng)
         self.scaler = TensorScaler()
+        #: bumped on every scaler (re)fit so downstream caches of scaled
+        #: tensors (see repro.engine.session.InferenceSession) can
+        #: invalidate themselves
+        self.scaler_version = 0
         self._optimizer = Adam(lr=lr)
         self._shuffle_rng = np.random.default_rng(seed + 1)
         self._fitted = False
@@ -82,6 +95,7 @@ class HotspotClassifier:
     def fit_scaler(self, pool_tensors: np.ndarray) -> None:
         """Fit the input scaler on the (unlabeled) pool."""
         self.scaler.fit(pool_tensors)
+        self.scaler_version += 1
 
     def _loss_for(self, y: np.ndarray) -> SoftmaxCrossEntropy:
         if self.class_weight == "balanced":
@@ -123,7 +137,7 @@ class HotspotClassifier:
         if patience is not None and validation is None:
             raise ValueError("patience requires a validation set")
         if self.scaler.mean_ is None:
-            self.scaler.fit(x)
+            self.fit_scaler(x)
 
         if self.augment:
             from ..features.augment import augmentation_batch
@@ -192,9 +206,18 @@ class HotspotClassifier:
         if not self._fitted:
             raise RuntimeError("classifier is not trained")
 
-    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+    def _prepare(self, x: np.ndarray, prescaled: bool) -> np.ndarray:
         self._check_fitted()
-        x = self.scaler.transform(np.asarray(x, dtype=np.float64))
+        x = np.asarray(x, dtype=np.float64)
+        return x if prescaled else self.scaler.transform(x)
+
+    def predict_logits(
+        self, x: np.ndarray, prescaled: bool = False
+    ) -> np.ndarray:
+        """Raw logits; ``prescaled=True`` skips the input scaler (for
+        callers holding a cached scaled tensor, e.g. an InferenceSession).
+        """
+        x = self._prepare(x, prescaled)
         return self.network.predict_logits(x, batch_size=max(self.batch_size, 128))
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
@@ -204,14 +227,53 @@ class HotspotClassifier:
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.predict_logits(x).argmax(axis=1)
 
-    def embeddings(self, x: np.ndarray, normalize: bool = True) -> np.ndarray:
+    def predict_full(
+        self,
+        x: np.ndarray,
+        normalize: bool = True,
+        prescaled: bool = False,
+    ) -> FullPrediction:
+        """Logits *and* embedding features in a single forward pass.
+
+        The active-learning loop needs both for every query batch
+        (calibrated probabilities for uncertainty, FC features for
+        diversity); tapping the embedding layer during the logits sweep
+        halves the inference cost versus calling :meth:`predict_logits`
+        and :meth:`embeddings` separately, with bit-identical results.
+        """
+        x = self._prepare(x, prescaled)
+        step = max(self.batch_size, 128)
+        logits_parts = []
+        feature_parts = []
+        for start in range(0, len(x), step):
+            logits, taps = self.network.forward(
+                x[start : start + step], taps=[self._embedding_index]
+            )
+            logits_parts.append(logits)
+            feature_parts.append(taps[self._embedding_index])
+        logits = np.concatenate(logits_parts, axis=0)
+        features = np.concatenate(feature_parts, axis=0)
+        if normalize:
+            features = self._normalize_embeddings(features)
+        return FullPrediction(logits=logits, embeddings=features)
+
+    @staticmethod
+    def _normalize_embeddings(features: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(features, axis=1, keepdims=True)
+        return features / np.maximum(norms, 1e-12)
+
+    def embeddings(
+        self,
+        x: np.ndarray,
+        normalize: bool = True,
+        prescaled: bool = False,
+    ) -> np.ndarray:
         """FC-layer embedding features for the diversity metric.
 
         L2-normalized by default so that the inner-product distance of
         Eq. (8) lies in [0, 2] (practically [0, 1] for ReLU features).
         """
-        self._check_fitted()
-        x = self.scaler.transform(np.asarray(x, dtype=np.float64))
+        x = self._prepare(x, prescaled)
         outputs = []
         step = max(self.batch_size, 128)
         for start in range(0, len(x), step):
@@ -221,8 +283,7 @@ class HotspotClassifier:
             )
         features = np.concatenate(outputs, axis=0)
         if normalize:
-            norms = np.linalg.norm(features, axis=1, keepdims=True)
-            features = features / np.maximum(norms, 1e-12)
+            features = self._normalize_embeddings(features)
         return features
 
     def clone_untrained(self) -> "HotspotClassifier":
@@ -256,4 +317,5 @@ class HotspotClassifier:
             self.network.set_weights(weights)
             self.scaler.mean_ = archive["scaler.mean"]
             self.scaler.std_ = archive["scaler.std"]
+        self.scaler_version += 1
         self._fitted = True

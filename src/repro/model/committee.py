@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .classifier import HotspotClassifier
+from .classifier import FullPrediction, HotspotClassifier
 
 __all__ = ["CommitteeClassifier"]
 
@@ -55,6 +55,18 @@ class CommitteeClassifier:
         for member in self.members:
             member.fit_scaler(pool_tensors)
 
+    @property
+    def scaler(self):
+        """Members share scaler statistics (fitted on the same pool);
+        the first member's scaler stands in for the committee's."""
+        return self.members[0].scaler
+
+    @property
+    def scaler_version(self) -> int:
+        """Changes whenever any member's scaler is refitted (cache key
+        for :class:`~repro.engine.session.InferenceSession`)."""
+        return sum(m.scaler_version for m in self.members)
+
     def fit(self, x, y, epochs: int | None = None) -> list[float]:
         traces = [m.fit(x, y, epochs=epochs) for m in self.members]
         return list(np.mean(traces, axis=0))
@@ -63,9 +75,33 @@ class CommitteeClassifier:
         traces = [m.update(x, y, epochs=epochs) for m in self.members]
         return list(np.mean(traces, axis=0))
 
-    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+    def predict_logits(
+        self, x: np.ndarray, prescaled: bool = False
+    ) -> np.ndarray:
         """Mean member logits (the committee's consensus score)."""
-        return np.mean([m.predict_logits(x) for m in self.members], axis=0)
+        return np.mean(
+            [m.predict_logits(x, prescaled=prescaled) for m in self.members],
+            axis=0,
+        )
+
+    def predict_full(
+        self,
+        x: np.ndarray,
+        normalize: bool = True,
+        prescaled: bool = False,
+    ) -> FullPrediction:
+        """Consensus logits + first-member embeddings in one sweep of
+        the first member plus one logits pass per remaining member."""
+        first = self.members[0].predict_full(
+            x, normalize=normalize, prescaled=prescaled
+        )
+        logits = np.mean(
+            [first.logits]
+            + [m.predict_logits(x, prescaled=prescaled)
+               for m in self.members[1:]],
+            axis=0,
+        )
+        return FullPrediction(logits=logits, embeddings=first.embeddings)
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Mean member probabilities (soft vote)."""
@@ -76,9 +112,16 @@ class CommitteeClassifier:
         votes = np.stack([m.predict(x) for m in self.members])
         return (votes.mean(axis=0) > 0.5).astype(np.int64)
 
-    def embeddings(self, x: np.ndarray, normalize: bool = True) -> np.ndarray:
+    def embeddings(
+        self,
+        x: np.ndarray,
+        normalize: bool = True,
+        prescaled: bool = False,
+    ) -> np.ndarray:
         """Embeddings of the first member (diversity metric input)."""
-        return self.members[0].embeddings(x, normalize=normalize)
+        return self.members[0].embeddings(
+            x, normalize=normalize, prescaled=prescaled
+        )
 
     def clone_untrained(self) -> "CommitteeClassifier":
         first = self.members[0]

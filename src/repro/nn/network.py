@@ -28,22 +28,53 @@ class Sequential:
     # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------
-    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
-        for layer in self.layers:
+    def forward(
+        self,
+        x: np.ndarray,
+        train: bool = False,
+        taps: Sequence[int] | None = None,
+    ) -> np.ndarray | tuple[np.ndarray, dict[int, np.ndarray]]:
+        """Full forward pass, optionally tapping intermediate activations.
+
+        Without ``taps`` the final output is returned as before.  With
+        ``taps`` (layer indices, negative ok) the pass additionally
+        records the output of each requested layer and returns
+        ``(output, {tap: activation})`` — one sweep serves both the
+        logits and any embedding features, instead of one pass per tap.
+        """
+        if taps is None:
+            for layer in self.layers:
+                x = layer.forward(x, train=train)
+            return x
+        wanted: dict[int, list[int]] = {}
+        for tap in taps:
+            wanted.setdefault(self._normalize_index(tap), []).append(tap)
+        tapped: dict[int, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
             x = layer.forward(x, train=train)
-        return x
+            for tap in wanted.get(i, ()):
+                tapped[tap] = x
+        return x, tapped
+
+    def _normalize_index(self, layer_index: int) -> int:
+        n = len(self.layers)
+        if not -n <= layer_index < n:
+            raise IndexError(
+                f"layer index {layer_index} out of range for {n} layers"
+            )
+        return layer_index % n
 
     def forward_to(self, x: np.ndarray, layer_index: int) -> np.ndarray:
         """Run inference up to and including ``layer_index`` (negative ok).
 
         Used to extract embedding features from an intermediate layer.
         """
-        stop = layer_index % len(self.layers)
+        stop = self._normalize_index(layer_index)
         for i, layer in enumerate(self.layers):
             x = layer.forward(x, train=False)
             if i == stop:
                 return x
-        raise IndexError(f"layer index {layer_index} out of range")
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):

@@ -1,0 +1,186 @@
+"""Tests for the event bus and the framework's event emission."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameworkConfig, PSHDFramework
+from repro.engine import (
+    EVENT_KINDS,
+    EventBus,
+    EventLog,
+    HistoryRecorder,
+    ProgressPrinter,
+)
+
+
+class TestEventBus:
+    def test_emit_reaches_subscribers_in_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(("a", e.kind)))
+        bus.subscribe(lambda e: seen.append(("b", e.kind)))
+        bus.emit("run_start", benchmark="x")
+        assert seen == [("a", "run_start"), ("b", "run_start")]
+
+    def test_kind_filter(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog(), kinds=["model_updated"])
+        bus.emit("run_start")
+        bus.emit("model_updated", iteration=1)
+        bus.emit("detection_done")
+        assert log.kinds() == ["model_updated"]
+
+    def test_seq_numbers_are_monotone(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        for kind in EVENT_KINDS:
+            bus.emit(kind)
+        assert [e.seq for e in log.events] == list(range(len(EVENT_KINDS)))
+
+    def test_unknown_kind_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            bus.emit("coffee_break")
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            bus.subscribe(lambda e: None, kinds=["coffee_break"])
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        bus.emit("run_start")
+        bus.unsubscribe(log)
+        bus.emit("detection_done")
+        assert log.kinds() == ["run_start"]
+
+    def test_event_log_stage_seconds(self):
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        bus.emit("batch_selected", select_seconds=0.25, iteration=1)
+        bus.emit("batch_selected", select_seconds=0.5, iteration=2)
+        bus.emit("model_updated", update_seconds=1.0, iteration=2)
+        totals = log.stage_seconds()
+        assert totals == {"select": 0.75, "update": 1.0}
+
+    def test_history_recorder_only_listens_to_model_updated(self):
+        recorder = HistoryRecorder()
+        bus = EventBus()
+        bus.subscribe(recorder)
+        bus.emit("run_start", benchmark="b")
+        bus.emit(
+            "model_updated",
+            iteration=1, train_size=10, hotspots_in_train=3,
+            temperature=1.5, batch_hotspots=2, litho_used=30,
+            update_seconds=0.1, diagnostics={"weights": [0.5, 0.5]},
+        )
+        assert recorder.history == [{
+            "iteration": 1, "train_size": 10, "hotspots_in_train": 3,
+            "temperature": 1.5, "batch_hotspots": 2,
+            "weights": [0.5, 0.5],
+        }]
+
+    def test_progress_printer_formats_each_kind(self, capsys):
+        printer = ProgressPrinter()
+        bus = EventBus()
+        bus.subscribe(printer)
+        bus.emit("run_start", method="ours", n_train=10, n_val=5,
+                 pool_size=100, litho_used=15, seed_seconds=0.1,
+                 benchmark="b")
+        bus.emit("iteration_start", iteration=1, pool_size=100,
+                 litho_used=15)
+        bus.emit("model_updated", iteration=1, train_size=20,
+                 hotspots_in_train=4, temperature=1.2, batch_hotspots=1,
+                 litho_used=25, update_seconds=0.2, diagnostics={})
+        bus.emit("detection_done", scanned=80, hits=3, false_alarms=2,
+                 litho_used=27, detect_seconds=0.05)
+        out = capsys.readouterr().out
+        assert "seeded" in out
+        assert "iteration 1" in out
+        assert "T=1.200" in out
+        assert "3 hits" in out
+
+
+class TestFrameworkEvents:
+    @pytest.fixture(scope="class")
+    def run_with_log(self, iccad16_2_small):
+        cfg = FrameworkConfig(
+            n_query=60, k_batch=10, n_iterations=2, init_train=24,
+            val_size=20, arch="mlp", epochs_initial=10, epochs_update=3,
+            seed=0,
+        )
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        result = PSHDFramework(iccad16_2_small, cfg, bus=bus).run()
+        return result, log
+
+    def test_event_ordering_across_two_iterations(self, run_with_log):
+        _, log = run_with_log
+        assert log.kinds() == [
+            "run_start",
+            "iteration_start", "batch_selected", "model_updated",
+            "iteration_start", "batch_selected", "model_updated",
+            "detection_done",
+        ]
+
+    def test_payload_litho_accounting(self, run_with_log):
+        result, log = run_with_log
+        start = log.of_kind("run_start")[0].payload
+        assert start["n_train"] == 24
+        assert start["n_val"] == 20
+        assert start["litho_used"] == 44
+        updates = log.of_kind("model_updated")
+        # each iteration labels k_batch more clips
+        assert [u.payload["litho_used"] for u in updates] == [54, 64]
+        done = log.of_kind("detection_done")[0].payload
+        assert done["litho_used"] == result.litho
+        assert done["hits"] == result.hits
+        assert done["false_alarms"] == result.false_alarms
+
+    def test_batch_selected_payload(self, run_with_log):
+        _, log = run_with_log
+        for event in log.of_kind("batch_selected"):
+            payload = event.payload
+            assert len(payload["selected"]) == 10
+            assert payload["query_size"] == 60
+            assert payload["temperature"] > 0
+            assert payload["select_seconds"] >= 0
+
+    def test_stage_timings_present(self, run_with_log):
+        _, log = run_with_log
+        totals = log.stage_seconds()
+        assert set(totals) == {"seed", "select", "update", "detect"}
+        assert all(v >= 0 for v in totals.values())
+
+    def test_history_from_bus_matches_result(self, run_with_log):
+        """PSHDResult.history is the HistoryRecorder's output and keeps
+        the seed implementation's exact entry layout."""
+        result, log = run_with_log
+        assert len(result.history) == 2
+        for entry, update in zip(result.history, log.of_kind("model_updated")):
+            assert set(entry) == {
+                "iteration", "train_size", "hotspots_in_train",
+                "temperature", "batch_hotspots", "weights",
+                "mean_uncertainty", "mean_diversity",
+            }
+            assert entry["train_size"] == update.payload["train_size"]
+
+    def test_external_bus_optional(self, iccad16_2_small):
+        """Without an explicit bus the run still records history."""
+        cfg = FrameworkConfig(
+            n_query=60, k_batch=10, n_iterations=1, init_train=24,
+            val_size=20, arch="mlp", epochs_initial=5, epochs_update=2,
+            seed=0,
+        )
+        result = PSHDFramework(iccad16_2_small, cfg).run()
+        assert len(result.history) == 1
+
+    def test_history_equivalent_to_inline_reference(self, run_with_log):
+        """The bus-built history must equal what the seed implementation
+        recorded inline: values recomputable from the run's own result."""
+        result, _ = run_with_log
+        sizes = [h["train_size"] for h in result.history]
+        assert sizes == [24 + 10 * (i + 1) for i in range(2)]
+        for entry in result.history:
+            assert entry["temperature"] > 0
+            assert 0 <= entry["batch_hotspots"] <= 10
+            assert sum(entry["weights"]) == pytest.approx(1.0)
+        assert isinstance(result.history[-1]["hotspots_in_train"], int)

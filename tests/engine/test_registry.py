@@ -1,0 +1,144 @@
+"""Tests for the name-keyed method registry."""
+
+import pytest
+
+from repro.baselines import METHODS, make_config, qp_selector, ts_selector
+from repro.baselines.pattern_matching import PM_MODES
+from repro.core import FrameworkConfig, PSHDFramework
+from repro.engine import (
+    MethodSpec,
+    framework_method_names,
+    get_method,
+    method_names,
+    register_method,
+    resolve_selector,
+)
+
+
+class TestRegistryContents:
+    def test_all_al_methods_registered(self):
+        names = method_names()
+        for method in METHODS:
+            assert method in names
+
+    def test_all_pm_modes_registered(self):
+        names = method_names()
+        for mode in PM_MODES:
+            assert f"pm-{mode}" in names
+
+    def test_framework_names_exclude_pm(self):
+        names = framework_method_names()
+        assert "ours" in names
+        assert all(not n.startswith("pm-") for n in names)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            get_method("alchemy")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_method(MethodSpec(name="ours"))
+
+    def test_resolve_selector(self):
+        assert resolve_selector("ours") is None  # built-in EntropySampling
+        assert resolve_selector("ts") is ts_selector
+        with pytest.raises(ValueError, match="no batch selector"):
+            resolve_selector("pm-exact")
+
+
+class TestBuildConfig:
+    def test_qp_spec_carries_method_quirks(self):
+        base = FrameworkConfig(k_batch=25)
+        cfg = get_method("qp").build_config(base)
+        assert cfg.selector is qp_selector
+        assert cfg.method_name == "qp"
+        assert cfg.discard_query_rest is True
+        assert cfg.n_query == 50  # [14]'s small first-step query set
+
+    def test_make_config_is_registry_backed(self):
+        base = FrameworkConfig(seed=3)
+        for method in METHODS:
+            cfg = make_config(method, base)
+            assert cfg == get_method(method).build_config(base)
+            assert cfg.method_name == method
+            assert cfg.seed == 3
+
+    def test_build_config_rejected_for_pm(self):
+        with pytest.raises(ValueError, match="standalone"):
+            get_method("pm-exact").build_config()
+
+    def test_run_rejected_for_framework_method(self, iccad16_2_small):
+        with pytest.raises(ValueError, match="framework method"):
+            get_method("ts").run(iccad16_2_small)
+
+
+class TestConsumption:
+    def test_framework_resolves_selector_by_name(self, iccad16_2_small):
+        """FrameworkConfig(selector=\"ts\") runs the TS baseline."""
+        cfg = FrameworkConfig(
+            n_query=60, k_batch=10, n_iterations=1, init_train=24,
+            val_size=20, arch="mlp", epochs_initial=5, epochs_update=2,
+            seed=0, selector="ts",
+        )
+        framework = PSHDFramework(iccad16_2_small, cfg)
+        assert framework.config.selector is ts_selector
+        assert framework.config.method_name == "ts"
+        result = framework.run()
+        assert result.method == "ts"
+        assert result.litho > 0
+
+    def test_bench_harness_reaches_pm_by_name(self, iccad16_2_small):
+        from repro.bench import run_method
+
+        result = run_method(iccad16_2_small, "pm-a90", "iccad16-2")
+        assert result.method == "pm-a90"
+        assert result.litho > 0
+
+    def test_bench_harness_reaches_al_by_name(self, iccad16_2_small):
+        from repro.bench import run_method_instrumented
+
+        cfg = FrameworkConfig(
+            n_query=60, k_batch=10, n_iterations=1, init_train=24,
+            val_size=20, arch="mlp", epochs_initial=5, epochs_update=2,
+            seed=0,
+        )
+        result, log = run_method_instrumented(
+            iccad16_2_small, "random", "iccad16-2", config=cfg
+        )
+        assert result.method == "random"
+        assert log.kinds()[0] == "run_start"
+        assert log.kinds()[-1] == "detection_done"
+        assert "select" in log.stage_seconds()
+
+    def test_cli_parser_offers_registry_methods(self):
+        from repro.cli.main import build_detect_parser
+
+        parser = build_detect_parser()
+        args = parser.parse_args(["layout.glp", "--method", "kcenter"])
+        assert args.method == "kcenter"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["layout.glp", "--method", "pm-exact"])
+
+    def test_selector_name_determinism_matches_callable(self, iccad16_2_small):
+        """Resolving by name and passing the callable directly must give
+        identical runs (same seed, same selector, same results)."""
+        common = dict(
+            n_query=60, k_batch=10, n_iterations=2, init_train=24,
+            val_size=20, arch="mlp", epochs_initial=5, epochs_update=2,
+            seed=1,
+        )
+        from repro.baselines import random_selector
+
+        by_name = PSHDFramework(
+            iccad16_2_small,
+            FrameworkConfig(selector="random", **common),
+        ).run()
+        by_callable = PSHDFramework(
+            iccad16_2_small,
+            FrameworkConfig(
+                selector=random_selector, method_name="random", **common
+            ),
+        ).run()
+        assert by_name.accuracy == by_callable.accuracy
+        assert by_name.litho == by_callable.litho
+        assert by_name.history == by_callable.history

@@ -161,6 +161,95 @@ class TestHotspotClassifier:
             clone.predict_logits(x), clf.predict_logits(x), atol=1e-10
         )
 
+    def test_save_load_restores_scaler_buffers(self, tmp_path):
+        """The archive carries the fitted scaler; the loaded model must
+        standardize inputs with the original statistics."""
+        rng = np.random.default_rng(16)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit_scaler(x * 3.0 + 1.0)  # distinctive statistics
+        clf.fit(x, y, epochs=2)
+        path = tmp_path / "model.npz"
+        clf.save(path)
+
+        clone = clf.clone_untrained()
+        version_before = clone.scaler_version
+        clone.load(path)
+        np.testing.assert_array_equal(clone.scaler.mean_, clf.scaler.mean_)
+        np.testing.assert_array_equal(clone.scaler.std_, clf.scaler.std_)
+        assert clone.scaler_version > version_before  # caches invalidate
+        np.testing.assert_allclose(
+            clone.predict_logits(x), clf.predict_logits(x), atol=1e-10
+        )
+
+    def test_scaler_version_tracks_refits(self):
+        rng = np.random.default_rng(17)
+        x, _ = synthetic_problem(rng)
+        clf = self._clf()
+        assert clf.scaler_version == 0
+        clf.fit_scaler(x)
+        assert clf.scaler_version == 1
+        clf.fit_scaler(x + 1.0)
+        assert clf.scaler_version == 2
+
+    def test_load_rejects_missing_weight(self, tmp_path):
+        rng = np.random.default_rng(18)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y, epochs=1)
+        payload = clf.network.get_weights()
+        payload["scaler.mean"] = clf.scaler.mean_
+        payload["scaler.std"] = clf.scaler.std_
+        first_key = next(k for k in payload if not k.startswith("scaler."))
+        del payload[first_key]
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, **payload)
+        with pytest.raises(KeyError, match="missing"):
+            clf.clone_untrained().load(path)
+
+    def test_load_rejects_shape_mismatch(self, tmp_path):
+        rng = np.random.default_rng(19)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y, epochs=1)
+        payload = clf.network.get_weights()
+        payload["scaler.mean"] = clf.scaler.mean_
+        payload["scaler.std"] = clf.scaler.std_
+        first_key = next(k for k in payload if not k.startswith("scaler."))
+        payload[first_key] = np.zeros((3, 3, 3))
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            clf.clone_untrained().load(path)
+
+    def test_load_rejects_unused_extras(self, tmp_path):
+        rng = np.random.default_rng(20)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y, epochs=1)
+        payload = clf.network.get_weights()
+        payload["scaler.mean"] = clf.scaler.mean_
+        payload["scaler.std"] = clf.scaler.std_
+        payload["999.surprise"] = np.zeros(2)
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, **payload)
+        with pytest.raises(KeyError, match="unused"):
+            clf.clone_untrained().load(path)
+
+    def test_predict_full_matches_two_pass(self):
+        """Single tapped pass == separate logits + embeddings calls."""
+        rng = np.random.default_rng(21)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y)
+        full = clf.predict_full(x)
+        np.testing.assert_array_equal(full.logits, clf.predict_logits(x))
+        np.testing.assert_array_equal(full.embeddings, clf.embeddings(x))
+
+    def test_predict_full_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            self._clf().predict_full(np.zeros((1, 4, 8, 8)))
+
     def test_clone_untrained_is_fresh(self):
         clf = self._clf()
         clone = clf.clone_untrained()

@@ -56,6 +56,41 @@ class TestSequentialBasics:
         # negative index counts from the end
         np.testing.assert_allclose(net.forward_to(x, -1), net.forward(x))
 
+    def test_forward_to_rejects_out_of_range(self):
+        rng = np.random.default_rng(0)
+        net = make_mlp(rng)  # 3 layers
+        x = rng.normal(size=(2, 2))
+        with pytest.raises(IndexError, match="out of range"):
+            net.forward_to(x, 3)
+        with pytest.raises(IndexError, match="out of range"):
+            net.forward_to(x, -4)
+
+    def test_tapped_forward_matches_forward_to(self):
+        """forward(x, taps=[...]) returns the logits plus every tapped
+        activation from one pass, equal to the per-layer probes."""
+        rng = np.random.default_rng(2)
+        net = make_cnn(rng)
+        x = rng.normal(size=(3, 1, 8, 8))
+        out, taps = net.forward(x, taps=[1, 5])
+        np.testing.assert_array_equal(out, net.forward(x))
+        np.testing.assert_array_equal(taps[1], net.forward_to(x, 1))
+        np.testing.assert_array_equal(taps[5], net.forward_to(x, 5))
+
+    def test_tapped_forward_keeps_negative_keys(self):
+        rng = np.random.default_rng(3)
+        net = make_mlp(rng)
+        x = rng.normal(size=(2, 2))
+        out, taps = net.forward(x, taps=[-2, -1])
+        assert set(taps) == {-2, -1}
+        np.testing.assert_array_equal(taps[-1], out)
+        np.testing.assert_array_equal(taps[-2], net.forward_to(x, -2))
+
+    def test_tapped_forward_rejects_out_of_range(self):
+        rng = np.random.default_rng(4)
+        net = make_mlp(rng)
+        with pytest.raises(IndexError, match="out of range"):
+            net.forward(rng.normal(size=(2, 2)), taps=[7])
+
     def test_predict_logits_batches_match_full(self):
         rng = np.random.default_rng(1)
         net = make_mlp(rng)
