@@ -1,0 +1,112 @@
+"""Extension — data-plane extraction throughput: eager vs chunked vs cached.
+
+Every experiment in this repo funnels clips through feature extraction:
+dataset builds, AL iterations re-scoring the pool, baseline sweeps that
+revisit the same benchmark under four PM criteria.  The data plane
+(``repro.dataplane``) replaces the eager per-clip loop with chunked
+vectorized DCT kernels and a content-addressed feature cache.  This
+bench measures clips/second on one synthetic chip for:
+
+* **eager** — the seed path: ``FeatureExtractor.encode``/``flat_features``
+  per clip;
+* **chunked** — ``BatchFeatureExtractor`` on a cold cache (stacked-DCT
+  kernels, one raster pass for tensors + flats);
+* **cached** — the same plane asked again (every clip served from the
+  memory tier).
+
+Outputs a table under ``benchmarks/out`` and a machine-readable
+``BENCH_dataplane.json``, and asserts the PR's acceptance criterion:
+warm-cache throughput >= 2x eager on repeated extraction.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench import format_table, write_report
+from repro.data.synth import EUV_RULES, generate_layout
+from repro.dataplane import BatchFeatureExtractor, DataPlaneConfig
+from repro.features import FeatureExtractor
+from repro.layout import extract_clip_grid
+
+#: chip size: 14x14 tiles yields ~200 clips, enough to amortize set-up
+TILES = 14
+
+
+def _clips():
+    layout = generate_layout(
+        EUV_RULES, tiles_x=TILES, tiles_y=TILES, stress_probability=0.3,
+        seed=11, name="bench-dataplane", target_ratio=0.08,
+    )
+    return extract_clip_grid(
+        layout, EUV_RULES.clip_size, EUV_RULES.core_margin, drop_empty=False
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_dataplane_bench():
+    clips = _clips()
+    n = len(clips)
+    fx = FeatureExtractor(grid=96)
+
+    def eager():
+        tensors = np.stack([fx.encode(c) for c in clips])
+        flats = np.stack([fx.flat_features(c) for c in clips])
+        return tensors, flats
+
+    plane = BatchFeatureExtractor(fx, DataPlaneConfig(chunk_size=64))
+    (eager_tensors, eager_flats), eager_s = _timed(eager)
+    cold_batch, cold_s = _timed(lambda: plane.extract(clips))
+    warm_batch, warm_s = _timed(lambda: plane.extract(clips))
+
+    # the data plane is only a speedup if it changes nothing else
+    assert np.array_equal(cold_batch.tensors, eager_tensors)
+    assert np.array_equal(cold_batch.flats, eager_flats)
+    assert np.array_equal(warm_batch.tensors, eager_tensors)
+    assert np.array_equal(warm_batch.flats, eager_flats)
+
+    return {
+        "n_clips": n,
+        "eager_seconds": eager_s,
+        "chunked_seconds": cold_s,
+        "cached_seconds": warm_s,
+        "eager_cps": n / eager_s,
+        "chunked_cps": n / cold_s,
+        "cached_cps": n / warm_s,
+        "chunked_speedup": eager_s / cold_s,
+        "cached_speedup": eager_s / warm_s,
+        "cache_stats": plane.cache_stats,
+    }
+
+
+def test_dataplane_throughput(benchmark):
+    stats = benchmark.pedantic(run_dataplane_bench, rounds=1, iterations=1)
+
+    text = format_table(
+        ["path", "seconds", "clips/sec", "speedup vs eager"],
+        [
+            ["eager per-clip (seed)", stats["eager_seconds"],
+             stats["eager_cps"], 1.0],
+            ["chunked, cold cache", stats["chunked_seconds"],
+             stats["chunked_cps"], stats["chunked_speedup"]],
+            ["chunked, warm cache", stats["cached_seconds"],
+             stats["cached_cps"], stats["cached_speedup"]],
+        ],
+    )
+    write_report("dataplane", text)
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "benchmarks/out")
+    with open(os.path.join(out_dir, "BENCH_dataplane.json"), "w") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+
+    # acceptance: repeated extraction with a warm cache is >= 2x eager
+    assert stats["cached_speedup"] >= 2.0
+    # the cold chunked path must at least not regress
+    assert stats["chunked_speedup"] >= 0.9

@@ -19,11 +19,11 @@ import numpy as np
 from repro.calibration import TemperatureScaler
 from repro.core import entropy_sampling
 from repro.data.synth import EUV_RULES, generate_layout
+from repro.dataplane import BatchFeatureExtractor, DataPlaneConfig
 from repro.features import FeatureExtractor
 from repro.layout import extract_clip_grid, save_layout
 from repro.litho import LithoLabeler, LithoSimulator
 from repro.model import HotspotClassifier
-from repro.nn.losses import softmax
 from repro.stats import PCA, GaussianMixture
 
 
@@ -43,14 +43,16 @@ def main() -> None:
           f"(layout saved to /tmp/demo_chip.glp)")
 
     # --- 2. features + the metered lithography oracle ------------------
-    extractor = FeatureExtractor(grid=96)
-    tensors = extractor.encode_batch(clips)
+    # the data plane extracts tensors and flats from one raster pass per
+    # clip, chunked and content-cached (repeat clips encode once)
+    plane = BatchFeatureExtractor(FeatureExtractor(grid=96),
+                                  DataPlaneConfig(chunk_size=64))
+    features = plane.extract(clips)
+    tensors = features.tensors
     labeler = LithoLabeler(LithoSimulator.for_tech(EUV_RULES.tech_nm, grid=96))
 
     # --- 3. GMM posterior seeding (Alg. 2 lines 1-2) --------------------
-    density = np.stack(
-        [extractor.flat_features(clip)[-64:] for clip in clips]
-    )
+    density = features.flats[:, -64:]
     posterior = (
         GaussianMixture(n_components=8, seed=0)
         .fit(PCA(10).fit_transform(density))
@@ -62,8 +64,8 @@ def main() -> None:
     pool = [i for i in range(len(clips))
             if i not in set(train_idx) | set(val_idx)]
 
-    y_train = [labeler.label(clips[i]) for i in train_idx]
-    y_val = np.array([labeler.label(clips[i]) for i in val_idx])
+    y_train = labeler.label_batch([clips[i] for i in train_idx])
+    y_val = np.array(labeler.label_batch([clips[i] for i in val_idx]))
     print(f"seed labels: {sum(y_train)} hotspots in the initial "
           f"{len(train_idx)}-clip training set")
 
@@ -82,7 +84,7 @@ def main() -> None:
         outcome = entropy_sampling(probs, embeddings, k=12)
         batch = [query[i] for i in outcome.selected]
 
-        labels = [labeler.label(clips[i]) for i in batch]  # litho charged
+        labels = labeler.label_batch([clips[i] for i in batch])  # litho
         train_idx.extend(batch)
         y_train.extend(labels)
         pool = [i for i in pool if i not in set(batch)]
@@ -96,7 +98,7 @@ def main() -> None:
     temperature.fit(clf.predict_logits(tensors[val_idx]), y_val)
     pool_probs = temperature.transform(clf.predict_logits(tensors[pool]))
     flagged = [i for i, p in zip(pool, pool_probs[:, 1]) if p > 0.5]
-    verified = [labeler.label(clips[i]) for i in flagged]  # verify flags
+    verified = labeler.label_batch([clips[i] for i in flagged])  # verify
     hits = sum(verified)
     print(f"\nfull-chip scan: flagged {len(flagged)} clips, "
           f"{hits} verified hotspots, {len(flagged) - hits} false alarms")

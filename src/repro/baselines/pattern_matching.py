@@ -136,7 +136,7 @@ class PatternMatcher:
 
 
 def run_pattern_matching(
-    dataset: ClipDataset, mode: str = "exact", seed: int = 0
+    dataset: ClipDataset, mode: str = "exact", seed: int = 0, bus=None
 ) -> PSHDResult:
     """Full-chip PSHD with a pattern-matching flow.
 
@@ -145,6 +145,11 @@ def run_pattern_matching(
     :class:`PSHDResult` scored with Eqs. (1)-(2): litho-simulated clips
     count as "training" clips; clips that inherited a wrong hotspot label
     are false alarms; inherited correct hotspot labels are hits.
+
+    The scan is inherently streaming (each verdict may grow the library
+    consulted by the next clip), so labeling cannot batch; a ``bus``
+    still gets one summary ``labels_computed`` event so PM flows report
+    label-cache economics in the same shape as the data plane.
     """
     started = time.perf_counter()
     matcher = PatternMatcher(mode, dataset)
@@ -170,6 +175,18 @@ def run_pattern_matching(
                 false_alarms += 1
 
     elapsed = time.perf_counter() - started
+    if bus is not None:
+        from ..litho.labeler import SECONDS_PER_LITHO_CLIP
+
+        bus.emit(
+            "labels_computed",
+            n_clips=len(dataset),
+            cache_hits=len(dataset) - labeler.query_count,
+            cache_misses=labeler.query_count,
+            deduped=0,
+            simulated_seconds=labeler.query_count * SECONDS_PER_LITHO_CLIP,
+            label_seconds=elapsed,
+        )
     accuracy = pshd_accuracy(hs_simulated, 0, hits, dataset.n_hotspots)
     litho = litho_overhead(labeler.query_count, 0, false_alarms)
     return PSHDResult(

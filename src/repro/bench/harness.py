@@ -7,8 +7,11 @@ each ``benchmarks/bench_*.py`` stays a thin driver.
 
 Environment knobs
 -----------------
-``REPRO_BENCH_SCALE``  multiplies every dataset scale (default 1.0).
-``REPRO_BENCH_SEEDS``  number of seeds averaged per AL method (default 2).
+``REPRO_BENCH_SCALE``    multiplies every dataset scale (default 1.0).
+``REPRO_BENCH_SEEDS``    number of seeds averaged per AL method (default 2).
+``REPRO_BENCH_WORKERS``  data-plane pool width for dataset builds
+                         (default 0 = in-process).
+``REPRO_BENCH_CHUNK``    data-plane chunk size (default 64).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from ..core.framework import FrameworkConfig, PSHDFramework
 from ..core.metrics import PSHDResult
 from ..data.benchmarks import build_benchmark
 from ..data.dataset import ClipDataset
+from ..dataplane import DataPlaneConfig
 from ..engine import EventBus, EventLog, get_method
 
 __all__ = [
@@ -29,6 +33,7 @@ __all__ = [
     "BENCH_SETTINGS",
     "bench_scale_factor",
     "bench_seeds",
+    "bench_dataplane_config",
     "load_dataset",
     "base_framework_config",
     "run_method",
@@ -76,11 +81,22 @@ def bench_seeds() -> int:
     return max(int(os.environ.get("REPRO_BENCH_SEEDS", "2")), 1)
 
 
+def bench_dataplane_config() -> DataPlaneConfig:
+    """Data-plane settings for dataset builds, from the environment."""
+    return DataPlaneConfig(
+        chunk_size=max(int(os.environ.get("REPRO_BENCH_CHUNK", "64")), 1),
+        workers=max(int(os.environ.get("REPRO_BENCH_WORKERS", "0")), 0),
+    )
+
+
 def load_dataset(name: str, seed: int = 0) -> ClipDataset:
     """Benchmark dataset at its bench-standard scale (cached on disk)."""
     setting = BENCH_SETTINGS[name]
     return build_benchmark(
-        name, scale=setting.scale * bench_scale_factor(), seed=seed
+        name,
+        scale=setting.scale * bench_scale_factor(),
+        seed=seed,
+        dataplane=bench_dataplane_config(),
     )
 
 
@@ -108,12 +124,12 @@ def run_method(
     ``method`` is any name in the engine method registry: an AL method
     (``ours``/``ts``/``qp``/``random``/``kcenter``/...) or a
     pattern-matching flow (``pm-exact`` etc.).  ``bus`` lets callers
-    subscribe instrumentation to AL runs (ignored for PM flows, which
-    bypass the framework).
+    subscribe instrumentation to any run; PM flows report a summary
+    ``labels_computed`` event, AL runs emit the full stage trace.
     """
     spec = get_method(method)
     if not spec.is_framework_method:
-        return spec.run(dataset, seed=seed)
+        return spec.run(dataset, seed=seed, bus=bus)
     base = config if config is not None else base_framework_config(name, seed)
     return PSHDFramework(dataset, spec.build_config(base), bus=bus).run()
 
@@ -126,8 +142,9 @@ def run_method_instrumented(
 
     The :class:`EventLog` carries per-stage timings
     (``EventLog.stage_seconds()``) and litho counts for benchmark
-    instrumentation; only AL methods emit events, a PM flow returns an
-    empty log.
+    instrumentation; AL methods emit the full stage trace plus
+    ``labels_computed`` label-cache events, a PM flow emits one summary
+    ``labels_computed`` event.
     """
     bus = EventBus()
     log = bus.subscribe(EventLog())

@@ -58,6 +58,14 @@ def build_detect_parser() -> argparse.ArgumentParser:
                         help="validation-set size (default 24)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--arch", choices=("mlp", "cnn"), default="mlp")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="data-plane pool width for extraction and "
+                             "litho labeling (default 0 = in-process)")
+    parser.add_argument("--chunk-size", type=int, default=64,
+                        help="clips per data-plane chunk (default 64)")
+    parser.add_argument("--feature-cache", default=None, metavar="DIR",
+                        help="directory of the on-disk feature cache "
+                             "(default: in-memory tier only)")
     from ..engine import framework_method_names
 
     parser.add_argument("--method", choices=framework_method_names(),
@@ -76,14 +84,16 @@ def build_detect_parser() -> argparse.ArgumentParser:
 def detect_main(argv=None) -> int:
     args = build_detect_parser().parse_args(argv)
 
-    from ..data.dataset import ClipDataset
     from ..core.framework import FrameworkConfig, PSHDFramework
+    from ..data.dataset import ClipDataset
     from ..data.synth import DUV_RULES, EUV_RULES
+    from ..dataplane import BatchFeatureExtractor, DataPlaneConfig
     from ..engine import EventBus, ProgressPrinter
     from ..features.pipeline import FeatureExtractor
     from ..layout.clip import extract_clip_grid
     from ..layout.gds import load_gds
     from ..layout.glp import load_layout
+    from ..litho.labeler import LithoLabeler
     from ..litho.simulator import LithoSimulator
 
     try:
@@ -115,20 +125,39 @@ def detect_main(argv=None) -> int:
         return 2
     print(f"extracted {len(clips)} clips of {clip_size} nm")
 
+    bus = EventBus()
+    if not args.quiet:
+        bus.subscribe(ProgressPrinter())
+
+    plane_cfg = DataPlaneConfig(
+        chunk_size=max(args.chunk_size, 1),
+        workers=max(args.workers, 0),
+        disk_cache_dir=args.feature_cache,
+    )
     simulator = LithoSimulator.for_tech(layout.tech_nm, grid=args.grid)
     print("labeling ground truth via lithography simulation "
           "(reference only; the flow is charged per queried clip)...")
-    labels = np.array([simulator.is_hotspot(c) for c in clips],
-                      dtype=np.int64)
+    labels = np.array(
+        LithoLabeler(simulator, bus=bus).label_batch(
+            clips,
+            chunk_size=plane_cfg.chunk_size,
+            workers=plane_cfg.workers,
+            executor=plane_cfg.executor,
+        ),
+        dtype=np.int64,
+    )
 
     extractor = FeatureExtractor(grid=args.grid)
+    features = BatchFeatureExtractor(
+        extractor, config=plane_cfg, bus=bus
+    ).extract(clips)
     dataset = ClipDataset(
         name=layout.name,
         tech_nm=layout.tech_nm,
         clips=clips,
         labels=labels,
-        tensors=extractor.encode_batch(clips),
-        flats=extractor.flat_batch(clips),
+        tensors=features.tensors,
+        flats=features.flats,
         meta={"density_cells": extractor.density_cells,
               "hashes": np.array([c.geometry_hash() for c in clips]),
               "core_hashes": np.array(
@@ -147,10 +176,8 @@ def detect_main(argv=None) -> int:
         arch=args.arch,
         seed=args.seed,
         selector=args.method,  # resolved through the engine registry
+        dataplane=plane_cfg,
     )
-    bus = EventBus()
-    if not args.quiet:
-        bus.subscribe(ProgressPrinter())
     result = PSHDFramework(dataset, config, bus=bus).run()
 
     print(f"\ndetection accuracy (Eq. 1): {100 * result.accuracy:.2f}%")

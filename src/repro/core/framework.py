@@ -43,6 +43,7 @@ import numpy as np
 
 from ..calibration.temperature import TemperatureScaler
 from ..data.dataset import ClipDataset, DatasetLabeler
+from ..dataplane.config import DataPlaneConfig
 from ..engine.events import EventBus, HistoryRecorder
 from ..engine.session import InferenceSession
 from ..model.classifier import HotspotClassifier
@@ -135,6 +136,10 @@ class FrameworkConfig:
     #: optional early-termination predicate evaluated each iteration
     #: (see repro.core.stopping); n_iterations remains the hard ceiling
     stop_when: StoppingCriterion | None = None
+    #: data-plane settings (chunk size, worker count, executor flavour,
+    #: feature-cache tiers) used by entry points that extract features
+    #: or batch-label for this run (CLI detect, benchmark builds)
+    dataplane: DataPlaneConfig = field(default_factory=DataPlaneConfig)
 
     def __post_init__(self) -> None:
         for name in ("n_query", "k_batch", "n_iterations", "init_train",
@@ -182,7 +187,7 @@ class PSHDFramework:
                 augment=self.config.augment,
             )
         self.classifier = classifier
-        self.labeler = DatasetLabeler(dataset)
+        self.labeler = DatasetLabeler(dataset, bus=self.bus)
 
     # ------------------------------------------------------------------
     def _density_core_features(self) -> np.ndarray:
@@ -294,8 +299,8 @@ class PSHDFramework:
         val_idx = np.asarray(val_idx)
         pool = list(pool)
 
-        y_train = list(self.labeler.label_many(train_idx))
-        y_val = self.labeler.label_many(val_idx)
+        y_train = list(self.labeler.label_batch(train_idx))
+        y_val = self.labeler.label_batch(val_idx)
 
         # lines 3-5: initialize and train the learning engine
         self.classifier.fit_scaler(dataset.tensors)
@@ -411,7 +416,7 @@ class PSHDFramework:
         cfg = self.config
         stage_start = time.perf_counter()
 
-        y_batch = self.labeler.label_many(batch)
+        y_batch = self.labeler.label_batch(batch)
         state.batch_hotspot_trace.append(int(np.sum(y_batch)))
         state.train_idx.extend(int(i) for i in batch)
         state.y_train.extend(int(label) for label in y_batch)

@@ -11,11 +11,13 @@ through a :class:`DatasetLabeler`, which meters litho-clip cost
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..layout.clip import Clip
+from ..litho.labeler import SECONDS_PER_LITHO_CLIP
 
 __all__ = ["ClipDataset", "DatasetLabeler"]
 
@@ -101,11 +103,15 @@ class DatasetLabeler:
     Mirrors :class:`repro.litho.LithoLabeler` but reads the dataset's
     stored simulation results instead of re-running optics, so large
     experiments stay fast while the litho-clip accounting is identical:
-    each *distinct* index queried charges one litho-clip.
+    each *distinct* index queried charges one litho-clip.  An optional
+    :class:`~repro.engine.events.EventBus` receives one
+    ``labels_computed`` event per :meth:`label_batch` request, carrying
+    the same cache-statistics payload as the physical labeler.
     """
 
-    def __init__(self, dataset: ClipDataset) -> None:
+    def __init__(self, dataset: ClipDataset, bus=None) -> None:
         self.dataset = dataset
+        self.bus = bus
         self._seen: set[int] = set()
         self.query_count = 0
 
@@ -120,6 +126,31 @@ class DatasetLabeler:
 
     def label_many(self, indices) -> np.ndarray:
         return np.array([self.label(i) for i in indices], dtype=np.int64)
+
+    def label_batch(self, indices) -> np.ndarray:
+        """Batched labeling with request-level dedupe and cache stats.
+
+        Identical charging to :meth:`label_many` (each distinct new index
+        costs one litho-clip); additionally emits a ``labels_computed``
+        event so runs expose their label-cache behaviour.
+        """
+        started = time.perf_counter()
+        indices = [int(i) for i in indices]
+        unique = set(indices)
+        cached = unique & self._seen
+        fresh = unique - self._seen
+        labels = np.array([self.label(i) for i in indices], dtype=np.int64)
+        if self.bus is not None:
+            self.bus.emit(
+                "labels_computed",
+                n_clips=len(indices),
+                cache_hits=len(cached),
+                cache_misses=len(fresh),
+                deduped=len(indices) - len(unique),
+                simulated_seconds=len(fresh) * SECONDS_PER_LITHO_CLIP,
+                label_seconds=time.perf_counter() - started,
+            )
+        return labels
 
     def is_labeled(self, index: int) -> bool:
         return int(index) in self._seen

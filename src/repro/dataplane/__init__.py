@@ -1,0 +1,41 @@
+"""Data plane (S13): chunked parallel extraction + content-addressed
+caching + batched labeling.
+
+The layer that turns layout clips into model-ready tensors and litho
+labels for every consumer — benchmark builders, the CLI detect flow,
+the AL framework's labelers and the bench harness:
+
+* :class:`BatchFeatureExtractor` — chunked, vectorized, optionally
+  pooled clip → DCT-tensor/flat extraction, bit-identical to the eager
+  :class:`~repro.features.pipeline.FeatureExtractor` loops it replaces.
+* :class:`FeatureCache` — content-addressed two-tier cache (in-memory
+  LRU + on-disk ``.npz``) keyed by clip geometry hash and extractor
+  parameters.
+* :func:`map_chunks` — the shared chunk runner (serial default, thread
+  or process pool) also used by the batched labelers in
+  :mod:`repro.litho.labeler` and :mod:`repro.data.dataset`.
+* :class:`DataPlaneConfig` — chunk size, worker count, executor flavour
+  and cache-tier sizing in one value (also embedded in
+  :class:`~repro.core.framework.FrameworkConfig`).
+
+Every request reports ``features_extracted`` / ``labels_computed``
+events with cache hit/miss counts on an optional
+:class:`~repro.engine.events.EventBus`.
+"""
+
+from .cache import CacheStats, FeatureCache, feature_key
+from .config import EXECUTORS, DataPlaneConfig
+from .extract import BatchFeatureExtractor, FeatureBatch
+from .pool import chunked, map_chunks
+
+__all__ = [
+    "BatchFeatureExtractor",
+    "FeatureBatch",
+    "CacheStats",
+    "FeatureCache",
+    "feature_key",
+    "DataPlaneConfig",
+    "EXECUTORS",
+    "chunked",
+    "map_chunks",
+]

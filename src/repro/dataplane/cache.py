@@ -1,0 +1,152 @@
+"""Content-addressed feature cache with memory and disk tiers.
+
+Keys are content addresses: clip geometry hash + extractor parameter
+signature + feature kind (see
+:meth:`repro.layout.clip.Clip.content_key` and
+:attr:`repro.features.pipeline.FeatureExtractor.params_key`).  Equal
+geometry therefore hits regardless of which ``Clip`` instance, AL
+iteration, or benchmark sweep asks.
+
+Two tiers:
+
+* **memory** — an LRU of the most recent ``memory_items`` arrays; hits
+  are free.
+* **disk** — optional ``.npz`` files under ``disk_dir``; survives the
+  process, so repeated bench runs and CLI invocations skip re-encoding
+  entirely.  Disk hits are promoted into the memory tier.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CacheStats", "FeatureCache", "feature_key"]
+
+
+def feature_key(content_key: str, params_key: str, kind: str) -> str:
+    """Full cache key of one feature array."""
+    return f"{content_key}-{params_key}-{kind}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`FeatureCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class FeatureCache:
+    """Two-tier (LRU memory + ``.npz`` disk) array cache.
+
+    ``memory_items == 0`` disables the memory tier; ``disk_dir is None``
+    disables the disk tier.  A fully disabled cache is valid and simply
+    misses everything.
+    """
+
+    memory_items: int = 1024
+    disk_dir: str | os.PathLike | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.memory_items < 0:
+            raise ValueError(
+                f"memory_items must be >= 0, got {self.memory_items}"
+            )
+        self._memory: OrderedDict[str, np.ndarray] = OrderedDict()
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Path:
+        return Path(self.disk_dir) / f"{key}.npz"
+
+    def get(self, key: str) -> np.ndarray | None:
+        """The cached array for ``key``, or ``None`` on a miss.
+
+        Returned arrays are the cache's own storage — treat them as
+        read-only (batch assembly copies them into the output anyway).
+        """
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                try:
+                    with np.load(path, allow_pickle=False) as archive:
+                        array = archive["data"]
+                except (OSError, ValueError, KeyError):
+                    # a torn write is a miss, not an error
+                    self.stats.misses += 1
+                    return None
+                self.stats.disk_hits += 1
+                self._store_memory(key, array)
+                return array
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, array: np.ndarray) -> None:
+        """Insert ``array`` into every enabled tier."""
+        array = np.asarray(array)
+        self.stats.puts += 1
+        self._store_memory(key, array)
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if not path.exists():
+                # atomic publish: concurrent writers race benignly
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(self.disk_dir), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        np.savez_compressed(handle, data=array)
+                    os.replace(tmp, path)
+                except OSError:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+
+    def _store_memory(self, key: str, array: np.ndarray) -> None:
+        if self.memory_items == 0:
+            return
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            return
+        self._memory[key] = array
+        while len(self._memory) > self.memory_items:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the memory tier and reset counters (disk is kept)."""
+        self._memory.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,60 @@
+"""Configuration of the data plane (chunking, pooling, cache tiers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DataPlaneConfig", "EXECUTORS"]
+
+#: supported ``concurrent.futures`` pool flavours
+EXECUTORS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class DataPlaneConfig:
+    """How clips are turned into features and labels.
+
+    Parameters
+    ----------
+    chunk_size:
+        Clips per extraction/labeling chunk.  Chunks are the unit of
+        vectorization (one stacked DCT call per chunk) and of pool
+        dispatch.
+    workers:
+        Pool width; ``0`` (the default) runs everything in-process with
+        no executor at all — the safe single-process fallback.
+    executor:
+        ``"thread"`` or ``"process"`` — which ``concurrent.futures``
+        pool to use when ``workers > 0``.  Thread pools are cheap and
+        suit the NumPy/SciPy kernels (which release the GIL); process
+        pools pay serialization but isolate heavier workloads.
+    memory_cache_items:
+        Capacity of the in-memory LRU tier of the feature cache
+        (entries, not bytes); ``0`` disables the tier.
+    disk_cache_dir:
+        Directory of the on-disk ``.npz`` tier; ``None`` (default)
+        disables it.
+    """
+
+    chunk_size: int = 64
+    workers: int = 0
+    executor: str = "thread"
+    memory_cache_items: int = 1024
+    disk_cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError(
+                f"chunk_size must be positive, got {self.chunk_size}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.memory_cache_items < 0:
+            raise ValueError(
+                "memory_cache_items must be >= 0, got "
+                f"{self.memory_cache_items}"
+            )

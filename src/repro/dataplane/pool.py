@@ -1,0 +1,60 @@
+"""Chunked execution, optionally through a ``concurrent.futures`` pool.
+
+The data plane's unit of work is the *chunk*: a slice of clips processed
+by one vectorized kernel call.  :func:`map_chunks` dispatches chunks
+serially (``workers == 0``, the safe single-process default) or over a
+thread/process pool, always returning per-chunk results in input order.
+The helpers are deliberately free of any dataplane imports so lower
+layers (``repro.litho``, ``repro.data``) can reuse them without cycles.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["chunked", "map_chunks"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def chunked(items: Sequence[T], size: int) -> list[list[T]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    items = list(items)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def map_chunks(
+    fn: Callable[[list[T]], R],
+    items: Sequence[T],
+    chunk_size: int,
+    workers: int = 0,
+    executor: str = "thread",
+) -> list[R]:
+    """Apply ``fn`` to every chunk of ``items``, in input order.
+
+    ``workers == 0`` (or a single chunk) runs in-process with no
+    executor.  Pool start-up failures (restricted environments without
+    process spawning) fall back to the serial path instead of erroring —
+    the data plane must never be less available than the eager loop it
+    replaced.
+    """
+    parts = chunked(items, chunk_size)
+    if not parts:
+        return []
+    if workers <= 0 or len(parts) == 1:
+        return [fn(part) for part in parts]
+
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
+    pool_cls = (
+        ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    )
+    try:
+        with pool_cls(max_workers=min(workers, len(parts))) as pool:
+            return list(pool.map(fn, parts))
+    except (OSError, PermissionError):  # pool unavailable -> serial fallback
+        return [fn(part) for part in parts]

@@ -26,6 +26,19 @@ Event kinds and their payloads:
 ``detection_done``
     ``scanned, hits, false_alarms, litho_used, detect_seconds`` — after
     the full-chip scan of the remaining pool.
+
+Data-plane events (emitted by :mod:`repro.dataplane` and the batched
+labelers rather than the framework stages):
+
+``features_extracted``
+    ``n_clips, cache_hits, cache_misses, deduped, chunks, chunk_size,
+    workers, kinds, cache_stats, extract_seconds`` — one per batch
+    extraction request.
+``labels_computed``
+    ``n_clips, cache_hits, cache_misses, deduped, simulated_seconds,
+    label_seconds`` — one per batch labeling request; ``cache_misses``
+    clips actually paid for lithography, ``simulated_seconds`` is their
+    runtime-model charge.
 """
 
 from __future__ import annotations
@@ -43,13 +56,16 @@ __all__ = [
     "ProgressPrinter",
 ]
 
-#: the five stage-transition events of one PSHD run, in emission order
+#: the five stage-transition events of one PSHD run (in emission order)
+#: plus the two data-plane events
 EVENT_KINDS = (
     "run_start",
     "iteration_start",
     "batch_selected",
     "model_updated",
     "detection_done",
+    "features_extracted",
+    "labels_computed",
 )
 
 
@@ -198,6 +214,19 @@ class ProgressPrinter:
                 f"detection: {payload['hits']} hits, "
                 f"{payload['false_alarms']} false alarms over "
                 f"{payload['scanned']} scanned clips"
+            )
+        elif event.kind == "features_extracted":
+            line = (
+                f"features: {payload['n_clips']} clips "
+                f"({payload['cache_hits']} cached, "
+                f"{payload['cache_misses']} encoded, "
+                f"{payload['extract_seconds']:.2f}s)"
+            )
+        elif event.kind == "labels_computed":
+            line = (
+                f"labels: {payload['n_clips']} clips "
+                f"({payload['cache_hits']} cached, "
+                f"{payload['cache_misses']} simulated)"
             )
         else:
             return

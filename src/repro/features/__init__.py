@@ -2,16 +2,24 @@
 signatures turning layout clips into model-ready tensors."""
 
 from .augment import TENSOR_ORIENTATIONS, augment_tensor, augmentation_batch
-from .dct import block_dct, dct_decode, dct_encode, zigzag_indices
-from .density import density_grid, density_stats
+from .dct import (
+    block_dct,
+    dct_decode,
+    dct_encode,
+    dct_encode_stack,
+    zigzag_indices,
+)
+from .density import density_grid, density_grid_stack, density_stats
 from .pipeline import FeatureExtractor
 
 __all__ = [
     "zigzag_indices",
     "block_dct",
     "dct_encode",
+    "dct_encode_stack",
     "dct_decode",
     "density_grid",
+    "density_grid_stack",
     "density_stats",
     "FeatureExtractor",
     "augment_tensor",

@@ -13,7 +13,13 @@ from __future__ import annotations
 import numpy as np
 from scipy.fft import dctn, idctn
 
-__all__ = ["zigzag_indices", "block_dct", "dct_encode", "dct_decode"]
+__all__ = [
+    "zigzag_indices",
+    "block_dct",
+    "dct_encode",
+    "dct_encode_stack",
+    "dct_decode",
+]
 
 
 def zigzag_indices(size: int) -> list[tuple[int, int]]:
@@ -65,6 +71,43 @@ def dct_encode(image: np.ndarray, blocks: int = 12, coeffs: int = 32) -> np.ndar
     cols = np.array([c for _, c in order])
     # (blocks, blocks, coeffs) -> (coeffs, blocks, blocks)
     return spectra[:, :, rows, cols].transpose(2, 0, 1)
+
+
+def dct_encode_stack(
+    images: np.ndarray, blocks: int = 12, coeffs: int = 32
+) -> np.ndarray:
+    """Encode a stack of rasters into ``(N, coeffs, blocks, blocks)``.
+
+    Vectorized over the batch axis: one ``dctn`` call transforms every
+    block of every image, which is both faster than per-image calls and
+    bit-identical to :func:`dct_encode` (the per-block 1-D transforms see
+    exactly the same data either way).
+    """
+    images = np.asarray(images)
+    if images.ndim != 3:
+        raise ValueError(f"expected (N, H, W) stack, got shape {images.shape}")
+    n, h, w = images.shape
+    if h % blocks or w % blocks:
+        raise ValueError(
+            f"images {images.shape[1:]} not divisible into "
+            f"{blocks}x{blocks} blocks"
+        )
+    bh, bw = h // blocks, w // blocks
+    if bh != bw:
+        raise ValueError(f"non-square blocks {bh}x{bw} unsupported")
+    if coeffs > bh * bw:
+        raise ValueError(
+            f"requested {coeffs} coefficients but blocks have {bh * bw}"
+        )
+    if n == 0:
+        return np.zeros((0, coeffs, blocks, blocks))
+    tiles = images.reshape(n, blocks, bh, blocks, bw).transpose(0, 1, 3, 2, 4)
+    spectra = dctn(tiles, axes=(3, 4), norm="ortho")
+    order = zigzag_indices(bh)[:coeffs]
+    rows = np.array([r for r, _ in order])
+    cols = np.array([c for _, c in order])
+    # (N, blocks, blocks, coeffs) -> (N, coeffs, blocks, blocks)
+    return spectra[:, :, :, rows, cols].transpose(0, 3, 1, 2)
 
 
 def dct_decode(tensor: np.ndarray, block_size: int) -> np.ndarray:

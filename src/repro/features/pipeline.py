@@ -10,8 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..layout.clip import Clip
-from .dct import dct_encode
-from .density import density_grid
+from .dct import dct_encode, dct_encode_stack
+from .density import density_grid, density_grid_stack
 
 __all__ = ["FeatureExtractor"]
 
@@ -44,6 +44,15 @@ class FeatureExtractor:
     ) -> None:
         if grid % blocks:
             raise ValueError(f"grid {grid} not divisible by blocks {blocks}")
+        if density_cells <= 0:
+            raise ValueError(
+                f"density_cells must be positive, got {density_cells}"
+            )
+        if grid % density_cells:
+            raise ValueError(
+                f"grid {grid} not divisible by density_cells {density_cells}; "
+                "the density signature needs whole pixel cells"
+            )
         block_size = grid // blocks
         if coeffs > block_size * block_size:
             raise ValueError(
@@ -59,20 +68,57 @@ class FeatureExtractor:
         """CNN input shape ``(C, H, W)``."""
         return (self.coeffs, self.blocks, self.blocks)
 
+    @property
+    def flat_size(self) -> int:
+        """Length of one :meth:`flat_features` vector."""
+        return int(np.prod(self.tensor_shape)) + self.density_cells**2
+
+    @property
+    def params_key(self) -> str:
+        """Stable signature of every parameter that shapes the output —
+        the extractor half of a content-addressed feature-cache key."""
+        return (
+            f"g{self.grid}b{self.blocks}c{self.coeffs}d{self.density_cells}"
+        )
+
     def raster(self, clip: Clip) -> np.ndarray:
         """Antialiased raster of one clip."""
         return clip.raster(self.grid, antialias=True)
+
+    def raster_stack(self, clips) -> np.ndarray:
+        """Rasters of many clips, stacked into ``(N, grid, grid)``."""
+        clips = list(clips)
+        if not clips:
+            return np.zeros((0, self.grid, self.grid))
+        return np.stack([self.raster(clip) for clip in clips])
 
     def encode(self, clip: Clip) -> np.ndarray:
         """DCT tensor ``(coeffs, blocks, blocks)`` of one clip."""
         return dct_encode(self.raster(clip), self.blocks, self.coeffs)
 
+    def encode_rasters(self, rasters: np.ndarray) -> np.ndarray:
+        """DCT tensors of pre-computed rasters (vectorized)."""
+        return dct_encode_stack(rasters, self.blocks, self.coeffs)
+
+    def flats_from_rasters(
+        self, rasters: np.ndarray, tensors: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Flat vectors from pre-computed rasters (vectorized).
+
+        Pass ``tensors`` when the DCT encoding of the same rasters is
+        already available to avoid recomputing it.
+        """
+        rasters = np.asarray(rasters)
+        if tensors is None:
+            tensors = self.encode_rasters(rasters)
+        density = density_grid_stack(rasters, self.density_cells)
+        return np.concatenate(
+            [tensors.reshape(len(rasters), -1), density], axis=1
+        )
+
     def encode_batch(self, clips) -> np.ndarray:
         """DCT tensors for many clips, stacked into ``(N, C, H, W)``."""
-        clips = list(clips)
-        if not clips:
-            return np.zeros((0,) + self.tensor_shape)
-        return np.stack([self.encode(clip) for clip in clips])
+        return self.encode_rasters(self.raster_stack(clips))
 
     def flat_features(self, clip: Clip) -> np.ndarray:
         """Flat vector for distribution modelling (GMM): DCT + density."""
@@ -83,6 +129,5 @@ class FeatureExtractor:
     def flat_batch(self, clips) -> np.ndarray:
         clips = list(clips)
         if not clips:
-            size = int(np.prod(self.tensor_shape)) + self.density_cells**2
-            return np.zeros((0, size))
-        return np.stack([self.flat_features(clip) for clip in clips])
+            return np.zeros((0, self.flat_size))
+        return self.flats_from_rasters(self.raster_stack(clips))

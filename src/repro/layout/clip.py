@@ -58,6 +58,22 @@ class Clip:
         """Rasterize the clip geometry to a ``(grid, grid)`` image."""
         return rasterize(self.rects, self.size, grid, antialias=antialias)
 
+    def content_key(self) -> str:
+        """Full-precision content address of this clip's geometry.
+
+        Hashes the window dimensions and every rect at exact coordinates
+        (no quantization, no truncation below 128 bits), so two ``Clip``
+        instances that would rasterize identically — regardless of
+        ``index``, absolute placement, or extraction order — share the
+        key.  This is the identity used by content-addressed feature and
+        litho-label caches.
+        """
+        width, height = self.size
+        core = self.core_local()
+        parts = sorted((r.x0, r.y0, r.x1, r.y1) for r in self.rects)
+        payload = f"{width}x{height}|{core.as_tuple()}|{parts!r}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
     def core_geometry_hash(self, quantum: int = 1) -> str:
         """Hash of the geometry clipped to the core region.
 

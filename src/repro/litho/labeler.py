@@ -2,13 +2,27 @@
 
 Definition 3 of the paper makes the count of lithography-simulated clips
 (the "litho-clips") the cost currency of PSHD.  :class:`LithoLabeler`
-wraps a simulator, memoizes verdicts per clip, and counts every *distinct*
-clip sent to simulation — re-querying a cached clip is free, matching how
-a real flow would reuse stored simulation results.
+wraps a simulator, memoizes verdicts per *clip geometry*, and counts
+every distinct geometry sent to simulation — re-querying a cached
+pattern is free, matching how a real flow would reuse stored simulation
+results.
+
+Caching is content-addressed through
+:meth:`repro.layout.clip.Clip.content_key`: two ``Clip`` instances with
+equal geometry share a verdict regardless of their ``index``, absolute
+placement, or which extraction pass produced them.  The batched
+:meth:`LithoLabeler.label_batch` path additionally dedupes a whole
+request before simulating and can fan simulation out over a
+``concurrent.futures`` pool.
 """
 
 from __future__ import annotations
 
+import time
+from functools import partial
+
+from ..dataplane.pool import map_chunks
+from ..engine.events import EventBus
 from ..layout.clip import Clip
 from .simulator import LithoSimulator
 
@@ -19,25 +33,31 @@ __all__ = ["LithoLabeler"]
 SECONDS_PER_LITHO_CLIP = 10.0
 
 
+def _simulate_chunk(clips: list[Clip], simulator: LithoSimulator) -> list[int]:
+    """Simulate one chunk (module-level so process pools can pickle it)."""
+    return [int(simulator.is_hotspot(clip)) for clip in clips]
+
+
 class LithoLabeler:
     """Counting, caching front-end to a :class:`LithoSimulator`.
 
     ``label(clip)`` returns 1 for hotspot and 0 for non-hotspot, charging
-    one litho-clip on first query of each clip.
+    one litho-clip on first query of each distinct clip geometry.  An
+    optional :class:`~repro.engine.events.EventBus` receives one
+    ``labels_computed`` event per :meth:`label_batch` request.
     """
 
-    def __init__(self, simulator: LithoSimulator) -> None:
+    def __init__(
+        self, simulator: LithoSimulator, bus: EventBus | None = None
+    ) -> None:
         self.simulator = simulator
-        self._cache: dict[int, int] = {}
+        self.bus = bus
+        self._cache: dict[str, int] = {}
         self.query_count = 0
 
     @staticmethod
-    def _key(clip: Clip) -> int:
-        if clip.index < 0:
-            raise ValueError(
-                "clip has no stable index; assign Clip.index before labeling"
-            )
-        return clip.index
+    def _key(clip: Clip) -> str:
+        return clip.content_key()
 
     def label(self, clip: Clip) -> int:
         """Hotspot verdict for ``clip`` (1 = hotspot), cached."""
@@ -48,8 +68,62 @@ class LithoLabeler:
         return self._cache[key]
 
     def label_many(self, clips) -> list[int]:
-        """Label a batch of clips, charging only uncached ones."""
+        """Label a batch of clips, charging only uncached geometry.
+
+        Serial convenience wrapper; prefer :meth:`label_batch` which
+        dedupes up front, can run the simulator over a pool, and reports
+        cache statistics on the event bus.
+        """
         return [self.label(clip) for clip in clips]
+
+    def label_batch(
+        self,
+        clips,
+        chunk_size: int = 16,
+        workers: int = 0,
+        executor: str = "thread",
+    ) -> list[int]:
+        """Verdicts for many clips with request-level deduplication.
+
+        Distinct uncached geometries are simulated once each — in chunks,
+        optionally over a thread/process pool — then every position is
+        served from the cache.  Charges ``query_count`` only for the
+        simulated geometries, exactly like repeated :meth:`label` calls
+        would.
+        """
+        started = time.perf_counter()
+        clips = list(clips)
+        keys = [self._key(clip) for clip in clips]
+
+        pending: dict[str, Clip] = {}
+        for key, clip in zip(keys, clips):
+            if key not in self._cache and key not in pending:
+                pending[key] = clip
+        n_cached = sum(1 for key in keys if key in self._cache)
+
+        verdict_chunks = map_chunks(
+            partial(_simulate_chunk, simulator=self.simulator),
+            list(pending.values()),
+            chunk_size=chunk_size,
+            workers=workers,
+            executor=executor,
+        )
+        verdicts = [v for chunk in verdict_chunks for v in chunk]
+        for key, verdict in zip(pending, verdicts):
+            self._cache[key] = verdict
+        self.query_count += len(pending)
+
+        if self.bus is not None:
+            self.bus.emit(
+                "labels_computed",
+                n_clips=len(clips),
+                cache_hits=n_cached,
+                cache_misses=len(pending),
+                deduped=len(clips) - n_cached - len(pending),
+                simulated_seconds=len(pending) * SECONDS_PER_LITHO_CLIP,
+                label_seconds=time.perf_counter() - started,
+            )
+        return [self._cache[key] for key in keys]
 
     def is_cached(self, clip: Clip) -> bool:
         return self._key(clip) in self._cache

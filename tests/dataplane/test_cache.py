@@ -1,0 +1,98 @@
+"""Tests for the content-addressed two-tier feature cache."""
+
+import numpy as np
+
+from repro.dataplane import FeatureCache, feature_key
+from repro.layout import Clip, Rect
+
+
+def make_clip(rects, size=1200, margin=300, idx=0):
+    window = Rect(0, 0, size, size)
+    return Clip(window, window.expanded(-margin), rects=rects, index=idx)
+
+
+class TestFeatureKey:
+    def test_key_combines_all_parts(self):
+        key = feature_key("abc", "g96b12c32d8", "tensor")
+        assert key == "abc-g96b12c32d8-tensor"
+
+    def test_content_key_depends_on_geometry_only(self):
+        a = make_clip([Rect(100, 550, 1100, 650)], idx=0)
+        b = make_clip([Rect(100, 550, 1100, 650)], idx=9)
+        c = make_clip([Rect(100, 550, 1100, 651)], idx=0)
+        assert a.content_key() == b.content_key()
+        assert a.content_key() != c.content_key()
+
+    def test_content_key_rect_order_invariant(self):
+        rects = [Rect(100, 550, 1100, 650), Rect(200, 100, 400, 300)]
+        a = make_clip(list(rects))
+        b = make_clip(list(reversed(rects)))
+        assert a.content_key() == b.content_key()
+
+
+class TestMemoryTier:
+    def test_roundtrip_identical(self):
+        cache = FeatureCache(memory_items=4)
+        array = np.random.default_rng(0).normal(size=(3, 4))
+        cache.put("k", array)
+        np.testing.assert_array_equal(cache.get("k"), array)
+        assert cache.stats.memory_hits == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = FeatureCache(memory_items=4)
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = FeatureCache(memory_items=2)
+        cache.put("a", np.zeros(1))
+        cache.put("b", np.ones(1))
+        cache.get("a")  # refresh a, so b is now the LRU entry
+        cache.put("c", np.full(1, 2.0))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.stats.evictions == 1
+
+    def test_zero_memory_items_disables_tier(self):
+        cache = FeatureCache(memory_items=0)
+        cache.put("k", np.zeros(3))
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = FeatureCache(memory_items=4, disk_dir=tmp_path)
+        cache.put("k", np.arange(3.0))
+        cache.clear()
+        assert len(cache) == 0
+        np.testing.assert_array_equal(cache.get("k"), np.arange(3.0))
+        assert cache.stats.disk_hits == 1
+
+
+class TestDiskTier:
+    def test_roundtrip_across_instances(self, tmp_path):
+        array = np.random.default_rng(1).normal(size=(32, 12, 12))
+        FeatureCache(memory_items=2, disk_dir=tmp_path).put("k", array)
+        fresh = FeatureCache(memory_items=2, disk_dir=tmp_path)
+        np.testing.assert_array_equal(fresh.get("k"), array)
+        assert fresh.stats.disk_hits == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        FeatureCache(disk_dir=tmp_path).put("k", np.zeros(2))
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get("k")
+        cache.get("k")
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_torn_write_is_a_miss(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path)
+        (tmp_path / "bad.npz").write_bytes(b"not an npz archive")
+        assert cache.get("bad") is None
+        assert cache.stats.misses == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path)
+        for i in range(5):
+            cache.put(f"k{i}", np.full(4, float(i)))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [f"k{i}.npz" for i in range(5)]

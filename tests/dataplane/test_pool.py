@@ -1,0 +1,58 @@
+"""Tests for the data plane's chunked/pooled execution helpers."""
+
+import pytest
+
+from repro.dataplane import chunked, map_chunks
+
+
+def _total(chunk):
+    return sum(chunk)
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert chunked(list(range(6)), 2) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_ragged_tail(self):
+        assert chunked(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+
+    def test_empty(self):
+        assert chunked([], 4) == []
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="chunk size"):
+            chunked([1, 2], 0)
+
+
+class TestMapChunks:
+    def test_serial_matches_manual(self):
+        items = list(range(10))
+        assert map_chunks(_total, items, chunk_size=3) == [3, 12, 21, 9]
+
+    def test_threaded_matches_serial_in_order(self):
+        items = list(range(20))
+        serial = map_chunks(_total, items, chunk_size=4, workers=0)
+        pooled = map_chunks(
+            _total, items, chunk_size=4, workers=3, executor="thread"
+        )
+        assert pooled == serial
+
+    def test_process_pool_matches_serial_in_order(self):
+        items = list(range(20))
+        serial = map_chunks(_total, items, chunk_size=4, workers=0)
+        pooled = map_chunks(
+            _total, items, chunk_size=4, workers=2, executor="process"
+        )
+        assert pooled == serial
+
+    def test_single_chunk_skips_pool(self):
+        # one chunk must not pay pool start-up even with workers set
+        assert map_chunks(_total, [1, 2, 3], chunk_size=10, workers=8) == [6]
+
+    def test_empty_items(self):
+        assert map_chunks(_total, [], chunk_size=4, workers=2) == []
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            map_chunks(_total, list(range(8)), chunk_size=2, workers=2,
+                       executor="fiber")

@@ -1,6 +1,5 @@
 """Tests for the event bus and the framework's event emission."""
 
-import numpy as np
 import pytest
 
 from repro.core import FrameworkConfig, PSHDFramework
@@ -114,10 +113,15 @@ class TestFrameworkEvents:
 
     def test_event_ordering_across_two_iterations(self, run_with_log):
         _, log = run_with_log
+        # seed-stage batched labeling (train set, then validation set)
+        # reports before run_start; each iteration labels its batch
         assert log.kinds() == [
+            "labels_computed", "labels_computed",
             "run_start",
-            "iteration_start", "batch_selected", "model_updated",
-            "iteration_start", "batch_selected", "model_updated",
+            "iteration_start", "batch_selected", "labels_computed",
+            "model_updated",
+            "iteration_start", "batch_selected", "labels_computed",
+            "model_updated",
             "detection_done",
         ]
 
@@ -147,7 +151,8 @@ class TestFrameworkEvents:
     def test_stage_timings_present(self, run_with_log):
         _, log = run_with_log
         totals = log.stage_seconds()
-        assert set(totals) == {"seed", "select", "update", "detect"}
+        assert set(totals) == {"seed", "select", "update", "detect",
+                               "label", "simulated"}
         assert all(v >= 0 for v in totals.values())
 
     def test_history_from_bus_matches_result(self, run_with_log):

@@ -78,3 +78,30 @@ class TestFeatureExtractor:
             FeatureExtractor(grid=100, blocks=12)
         with pytest.raises(ValueError):
             FeatureExtractor(grid=24, blocks=12, coeffs=32)
+
+    def test_rejects_nondivisible_density_cells(self):
+        with pytest.raises(ValueError, match="density_cells"):
+            FeatureExtractor(grid=96, density_cells=7)
+        with pytest.raises(ValueError, match="density_cells"):
+            FeatureExtractor(grid=96, density_cells=0)
+
+    def test_params_key_covers_every_knob(self):
+        fx = FeatureExtractor(grid=96, blocks=12, coeffs=32, density_cells=8)
+        assert fx.params_key == "g96b12c32d8"
+        assert fx.params_key != FeatureExtractor(grid=96).params_key
+
+    def test_stack_kernels_match_per_clip(self):
+        """The vectorized raster/encode/flat path must be bit-identical
+        to the per-clip methods it replaced."""
+        fx = FeatureExtractor(grid=48, blocks=12, coeffs=8, density_cells=4)
+        clips = [
+            make_clip([Rect(100, 100 + 50 * i, 600, 400 + 50 * i)], idx=i)
+            for i in range(4)
+        ]
+        rasters = fx.raster_stack(clips)
+        tensors = fx.encode_rasters(rasters)
+        flats = fx.flats_from_rasters(rasters, tensors)
+        for i, clip in enumerate(clips):
+            np.testing.assert_array_equal(rasters[i], fx.raster(clip))
+            np.testing.assert_array_equal(tensors[i], fx.encode(clip))
+            np.testing.assert_array_equal(flats[i], fx.flat_features(clip))

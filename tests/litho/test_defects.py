@@ -222,7 +222,10 @@ class TestLithoLabeler:
 
     def test_label_many(self):
         labeler = self._labeler()
-        clips = [make_clip([Rect(100, 550, 1100, 650)], idx=i) for i in range(3)]
+        clips = [
+            make_clip([Rect(100, 550 + 10 * i, 1100, 650 + 10 * i)], idx=i)
+            for i in range(3)
+        ]
         labels = labeler.label_many(clips)
         assert labels == [0, 0, 0]
         assert labeler.query_count == 3
@@ -232,11 +235,41 @@ class TestLithoLabeler:
         labeler.label(make_clip([Rect(100, 550, 1100, 650)], idx=0))
         assert labeler.simulated_seconds == pytest.approx(10.0)
 
-    def test_requires_stable_index(self):
+    def test_cache_keyed_by_geometry_not_identity(self):
+        """Regression: equal geometry from *different* Clip instances
+        (different indices, no index at all) shares one cached verdict —
+        the cache is content-addressed, not object/index-addressed."""
         labeler = self._labeler()
-        clip = make_clip([Rect(100, 550, 1100, 650)], idx=-1)
-        with pytest.raises(ValueError, match="index"):
-            labeler.label(clip)
+        rects = [Rect(100, 550, 1100, 650)]
+        first = make_clip(list(rects), idx=0)
+        twin = make_clip(list(rects), idx=7)       # other index
+        unindexed = make_clip(list(rects), idx=-1)  # no index assigned
+        assert labeler.label(first) == labeler.label(twin)
+        assert labeler.label(unindexed) == labeler.label(first)
+        assert labeler.query_count == 1
+        assert labeler.is_cached(twin)
+
+    def test_label_batch_dedupes_and_reports(self):
+        from repro.engine import EventBus, EventLog
+
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        labeler = LithoLabeler(
+            LithoSimulator.for_tech(28, grid=96), bus=bus
+        )
+        base = make_clip([Rect(100, 550, 1100, 650)], idx=0)
+        other = make_clip([Rect(100, 500, 1100, 700)], idx=1)
+        dup = make_clip([Rect(100, 550, 1100, 650)], idx=2)  # == base
+        labeler.label(base)  # warm one entry
+        labels = labeler.label_batch([base, other, dup, other])
+        assert labels[0] == labels[2] == labeler.label(base)
+        assert labeler.query_count == 2  # base + other, dup was free
+        [event] = log.of_kind("labels_computed")
+        assert event.payload["n_clips"] == 4
+        assert event.payload["cache_hits"] == 2   # base + its duplicate
+        assert event.payload["cache_misses"] == 1  # other (deduped twice)
+        assert event.payload["deduped"] == 1
+        assert event.payload["simulated_seconds"] == 10.0
 
     def test_reset(self):
         labeler = self._labeler()
