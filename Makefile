@@ -1,0 +1,25 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test test-strict lint reprolint mypy bench check
+
+test:
+	python -m pytest -x -q
+
+test-strict:
+	REPRO_CHECK=strict python -m pytest -x -q
+
+reprolint:
+	python -m repro.analysis.lint src tests
+
+lint: reprolint
+	ruff check src tests
+
+mypy:
+	python -m mypy src/repro/analysis src/repro/dataplane
+
+bench:
+	python -m pytest benchmarks -q
+
+check:
+	sh check.sh

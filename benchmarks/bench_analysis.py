@@ -1,0 +1,168 @@
+"""Extension — runtime-contract overhead on the data-plane path.
+
+Array contracts (``repro.analysis.contracts``) guard the hot boundaries
+of the repo: feature encoding, inference, sampling scores.  They are
+meant to be free when ``REPRO_CHECK=off`` — the wrapper is one
+thread-local read and a branch.  This bench quantifies "free" on the
+realistic path the contracts actually sit on (PR 2's chunked batch
+extraction):
+
+* **per-call cost** — a contracted trivial function vs the bare
+  function, isolating the wrapper's fast path;
+* **wrapper activations** — counted on one ``BatchFeatureExtractor``
+  extraction via ``sys.setprofile`` (all contract wrappers share one
+  code object, so activations are exactly identifiable);
+* **bounded overhead** — activations x per-call cost relative to the
+  path's wall time, asserted under the 2% acceptance ceiling;
+* **strict-mode cost** — the same extraction with full validation on,
+  for scale (strict is a debugging mode, not the production default).
+
+Outputs a table under ``benchmarks/out`` and ``BENCH_analysis.json``.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.analysis import contracts
+from repro.analysis.contracts import checking, contract
+from repro.bench import format_table, write_report
+from repro.data.synth import EUV_RULES, generate_layout
+from repro.dataplane import BatchFeatureExtractor, DataPlaneConfig
+from repro.features import FeatureExtractor
+from repro.layout import extract_clip_grid
+
+TILES = 10
+
+#: calls used to time the wrapper fast path (cheap: ~ns per call)
+CALIBRATION_CALLS = 200_000
+
+
+def _clips():
+    layout = generate_layout(
+        EUV_RULES, tiles_x=TILES, tiles_y=TILES, stress_probability=0.3,
+        seed=13, name="bench-analysis", target_ratio=0.08,
+    )
+    return extract_clip_grid(
+        layout, EUV_RULES.clip_size, EUV_RULES.core_margin, drop_empty=False
+    )
+
+
+def _per_call_overhead(calls=CALIBRATION_CALLS):
+    """Seconds added per call by an off-mode contract wrapper."""
+
+    def bare(x):
+        return x
+
+    @contract(x="f8[N]")
+    def guarded(x):
+        return x
+
+    def loop(fn):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn(None)
+        return time.perf_counter() - start
+
+    # warm up, then take the best of 3 to suppress scheduler noise
+    loop(bare), loop(guarded)
+    bare_s = min(loop(bare) for _ in range(3))
+    guarded_s = min(loop(guarded) for _ in range(3))
+    return max(guarded_s - bare_s, 0.0) / calls
+
+
+class _WrapperCounter:
+    """Counts contract-wrapper activations via the shared code object."""
+
+    def __init__(self):
+        self.count = 0
+        self._code = contracts.wrapper_code()
+
+    def __call__(self, frame, event, arg):
+        if event == "call" and frame.f_code is self._code:
+            self.count += 1
+
+    def __enter__(self):
+        sys.setprofile(self)
+        return self
+
+    def __exit__(self, *exc_info):
+        sys.setprofile(None)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_analysis_bench():
+    clips = _clips()
+    per_call = _per_call_overhead()
+
+    def fresh_plane():
+        return BatchFeatureExtractor(
+            FeatureExtractor(grid=96), DataPlaneConfig(chunk_size=64)
+        )
+
+    # cold-cache extraction with checks off (the production default),
+    # counting how many contract wrappers the path traverses
+    with checking("off"):
+        plane = fresh_plane()
+        with _WrapperCounter() as counter:
+            off_batch, off_s = _timed(lambda: plane.extract(clips))
+        wrapper_calls = counter.count
+
+        # profiling itself slows the run; re-time without the profiler
+        plane = fresh_plane()
+        off_batch, off_s = _timed(lambda: plane.extract(clips))
+
+    with checking("strict"):
+        plane = fresh_plane()
+        strict_batch, strict_s = _timed(lambda: plane.extract(clips))
+
+    import numpy as np
+
+    assert np.array_equal(off_batch.tensors, strict_batch.tensors)
+    assert np.array_equal(off_batch.flats, strict_batch.flats)
+    assert wrapper_calls > 0, "no contract wrapper ran on the dataplane path"
+
+    off_overhead = wrapper_calls * per_call
+    return {
+        "n_clips": len(clips),
+        "per_call_off_seconds": per_call,
+        "wrapper_calls_on_path": wrapper_calls,
+        "off_path_seconds": off_s,
+        "strict_path_seconds": strict_s,
+        "off_overhead_seconds": off_overhead,
+        "off_overhead_fraction": off_overhead / off_s,
+        "strict_slowdown": strict_s / off_s,
+    }
+
+
+def test_contract_overhead(benchmark):
+    stats = benchmark.pedantic(run_analysis_bench, rounds=1, iterations=1)
+
+    text = format_table(
+        ["metric", "value"],
+        [
+            ["clips", stats["n_clips"]],
+            ["wrapper activations on path", stats["wrapper_calls_on_path"]],
+            ["off-mode cost per call (us)",
+             stats["per_call_off_seconds"] * 1e6],
+            ["extract seconds (REPRO_CHECK=off)", stats["off_path_seconds"]],
+            ["extract seconds (REPRO_CHECK=strict)",
+             stats["strict_path_seconds"]],
+            ["off-mode overhead fraction", stats["off_overhead_fraction"]],
+            ["strict slowdown (x)", stats["strict_slowdown"]],
+        ],
+    )
+    write_report("analysis", text)
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "benchmarks/out")
+    with open(os.path.join(out_dir, "BENCH_analysis.json"), "w") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+
+    # acceptance: contracts with checks off cost < 2% of the path
+    assert stats["off_overhead_fraction"] < 0.02

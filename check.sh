@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Full local quality gate: tests (off + strict contracts), reprolint,
+# and — when installed — ruff and mypy.  CI runs the same steps; ruff
+# and mypy are skipped gracefully here so the gate works in minimal
+# environments (the repo itself depends only on numpy/scipy).
+set -eu
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "==> pytest"
+python -m pytest -x -q
+
+echo "==> pytest (REPRO_CHECK=strict)"
+REPRO_CHECK=strict python -m pytest -x -q
+
+echo "==> reprolint"
+python -m repro.analysis.lint src tests
+
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    echo "==> ruff"
+    ruff check src tests
+else
+    echo "==> ruff not installed; skipping (CI runs it)"
+fi
+
+if python -c "import mypy" >/dev/null 2>&1; then
+    echo "==> mypy"
+    python -m mypy src/repro/analysis src/repro/dataplane
+else
+    echo "==> mypy not installed; skipping (CI runs it)"
+fi
+
+echo "All checks passed."

@@ -1,0 +1,87 @@
+"""Static and structural analysis for the reproduction codebase.
+
+Two halves:
+
+* **Runtime array contracts** (:mod:`repro.analysis.contracts`) — the
+  :func:`contract` decorator plus :func:`check_array` validate dtype,
+  rank, named-dimension consistency and finiteness at function
+  boundaries, toggled by ``REPRO_CHECK={strict,warn,off}``.
+* **reprolint** (:mod:`repro.analysis.linter`) — an AST linter enforcing
+  repo-specific invariants (R001–R006): seeded-RNG discipline, float64
+  kernel invariance, registered event names, data-plane routing, no
+  mutable defaults, contract coverage.  Run it with
+  ``python -m repro.analysis.lint src tests`` or ``repro-lint``.
+
+Heavy imports are lazy (PEP 562) so the linter half stays importable in
+environments without numpy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - static import surface for mypy
+    from .contracts import (
+        ContractError,
+        ContractInfo,
+        ContractWarning,
+        check_array,
+        check_mode,
+        checking,
+        contract,
+        contract_registry,
+        set_check_mode,
+    )
+    from .linter import lint_paths, lint_source
+    from .rules import Violation
+    from .spec import ArraySpec, SpecError, parse_spec
+
+__all__ = [
+    "ArraySpec",
+    "ContractError",
+    "ContractInfo",
+    "ContractWarning",
+    "SpecError",
+    "Violation",
+    "check_array",
+    "check_mode",
+    "checking",
+    "contract",
+    "contract_registry",
+    "lint_paths",
+    "lint_source",
+    "parse_spec",
+    "set_check_mode",
+]
+
+_CONTRACT_NAMES = {
+    "ContractError", "ContractInfo", "ContractWarning", "check_array",
+    "check_mode", "checking", "contract", "contract_registry",
+    "set_check_mode",
+}
+_SPEC_NAMES = {"ArraySpec", "SpecError", "parse_spec"}
+_LINTER_NAMES = {"lint_paths", "lint_source"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _CONTRACT_NAMES:
+        from . import contracts
+
+        return getattr(contracts, name)
+    if name in _SPEC_NAMES:
+        from . import spec
+
+        return getattr(spec, name)
+    if name in _LINTER_NAMES:
+        from . import linter
+
+        return getattr(linter, name)
+    if name == "Violation":
+        from .rules import Violation
+
+        return Violation
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,343 @@
+"""Runtime array contracts for function boundaries.
+
+The numerics in this repo (DCT encoding, GMM seeding, temperature
+scaling, entropy-weighted score fusion) are exactly the kind of code
+where a silent shape broadcast, dtype upcast or NaN corrupts results
+without crashing.  :func:`contract` declares the array domain of a
+function boundary once, in a compact spec string, and validates it at
+call time::
+
+    @contract(probs="f8[N,2]", returns="f8[N]")
+    def hotspot_aware_uncertainty(probs, h=0.4): ...
+
+Checks cover dtype, rank, exact and *named* dimensions (``N`` must mean
+the same size everywhere within one call, arguments and return alike)
+and finiteness (NaN/Inf rejection for float arrays).
+
+The ``REPRO_CHECK`` environment variable picks the mode:
+
+``off`` (default)
+    The wrapper short-circuits to the original function — one global
+    read and a branch, nothing else (see ``benchmarks/bench_analysis.py``
+    for the measured overhead on the data-plane path).
+``warn``
+    Violations emit a :class:`ContractWarning` and execution continues.
+``strict``
+    Violations raise :class:`ContractError`.
+
+Tests (and long-lived processes) can switch modes at runtime with
+:func:`set_check_mode` or the :func:`checking` context manager.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import threading
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+import numpy as np
+
+from .spec import ArraySpec, SpecError, parse_spec
+
+__all__ = [
+    "CHECK_ENV_VAR",
+    "MODES",
+    "ContractError",
+    "ContractWarning",
+    "ContractInfo",
+    "check_array",
+    "check_mode",
+    "checking",
+    "contract",
+    "contract_registry",
+    "set_check_mode",
+    "wrapper_code",
+]
+
+CHECK_ENV_VAR = "REPRO_CHECK"
+MODES = ("strict", "warn", "off")
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class ContractError(TypeError, ValueError):
+    """An array violated its declared contract (strict mode).
+
+    Subclasses both ``TypeError`` and ``ValueError``: contracted
+    boundaries previously raised one or the other inline, and callers
+    (including tests) that catch those must keep working when strict
+    checking intercepts the bad array first.
+    """
+
+
+class ContractWarning(UserWarning):
+    """An array violated its declared contract (warn mode)."""
+
+
+def _resolve_env_mode() -> str:
+    raw = os.environ.get(CHECK_ENV_VAR, "off").strip().lower()
+    if raw not in MODES:
+        raise ValueError(
+            f"{CHECK_ENV_VAR}={raw!r} is not a valid mode; "
+            f"choose one of {MODES}"
+        )
+    return raw
+
+
+class _State(threading.local):
+    """Per-thread check mode, seeded from the environment."""
+
+    def __init__(self) -> None:
+        self.mode = _resolve_env_mode()
+
+
+_state = _State()
+
+
+def check_mode() -> str:
+    """The active contract-checking mode (``strict``/``warn``/``off``)."""
+    return _state.mode
+
+
+def set_check_mode(mode: str) -> str:
+    """Set the mode for the current thread; returns the previous mode."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    previous = _state.mode
+    _state.mode = mode
+    return previous
+
+
+class checking:
+    """Context manager pinning the check mode (``with checking("strict")``)."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self._previous: str | None = None
+
+    def __enter__(self) -> "checking":
+        self._previous = set_check_mode(self.mode)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._previous is not None
+        set_check_mode(self._previous)
+
+
+# ----------------------------------------------------------------------
+# value checking
+# ----------------------------------------------------------------------
+def _dtype_matches(dtype: np.dtype, code: str) -> bool:
+    if code == "*":
+        return True
+    from .spec import DTYPE_CODES
+
+    kind, name = DTYPE_CODES[code]
+    if kind is not None and dtype.kind != kind:
+        return False
+    if name is not None and dtype.name != name:
+        return False
+    return True
+
+
+def _match_one(
+    value: np.ndarray, spec: ArraySpec, dims: dict[str, int]
+) -> str | None:
+    """Return None on success or a failure description (without raising).
+
+    ``dims`` is only mutated on success, so alternation can probe
+    alternatives without leaking bindings from failed attempts.
+    """
+    if not _dtype_matches(value.dtype, spec.dtype_code):
+        return (
+            f"dtype {value.dtype} does not satisfy {spec.dtype_code!r}"
+        )
+    fixed = spec.fixed_dims
+    if spec.variadic:
+        if value.ndim < len(fixed):
+            return (
+                f"rank {value.ndim} < minimum rank {len(fixed)} "
+                f"of {spec.describe()!r}"
+            )
+    elif value.ndim != len(fixed):
+        return (
+            f"rank {value.ndim} != expected rank {len(fixed)} "
+            f"of {spec.describe()!r}"
+        )
+    pending: dict[str, int] = {}
+    for axis, dim in enumerate(fixed):
+        size = value.shape[axis]
+        if dim == "*":
+            continue
+        if isinstance(dim, int):
+            if size != dim:
+                return f"dim {axis} has size {size}, expected {dim}"
+        else:
+            bound = dims.get(dim, pending.get(dim))
+            if bound is None:
+                pending[dim] = size
+            elif bound != size:
+                return (
+                    f"named dim {dim!r} is {size} here but {bound} "
+                    "elsewhere in this call"
+                )
+    if spec.check_finite and value.dtype.kind == "f" and value.size:
+        if not bool(np.isfinite(value).all()):
+            return "contains NaN or Inf"
+    dims.update(pending)
+    return None
+
+
+def check_array(
+    value: Any,
+    spec: str | tuple[ArraySpec, ...],
+    dims: dict[str, int] | None = None,
+    where: str = "array",
+    mode: str | None = None,
+) -> Any:
+    """Validate ``value`` against ``spec``; returns ``value`` unchanged.
+
+    ``dims`` carries named-dimension bindings across several calls (the
+    :func:`contract` decorator shares one dict per function call).
+    ``mode`` overrides the global mode; ``off`` skips everything.
+    """
+    mode = mode if mode is not None else _state.mode
+    if mode == "off":
+        return value
+    alternatives = parse_spec(spec) if isinstance(spec, str) else spec
+    dims = dims if dims is not None else {}
+    if value is None:
+        if any(alt.optional for alt in alternatives):
+            return value
+        _report(f"{where}: expected an array, got None", mode)
+        return value
+    if not isinstance(value, np.ndarray):
+        try:
+            array = np.asarray(value)
+        except Exception:
+            _report(
+                f"{where}: expected an array-like, got "
+                f"{type(value).__name__}",
+                mode,
+            )
+            return value
+    else:
+        array = value
+    failures = []
+    for alt in alternatives:
+        failure = _match_one(array, alt, dims)
+        if failure is None:
+            return value
+        failures.append(f"{alt.describe()!r}: {failure}")
+    _report(
+        f"{where}: shape {array.shape} ({array.dtype}) matches no "
+        f"alternative — " + "; ".join(failures),
+        mode,
+    )
+    return value
+
+
+def _report(message: str, mode: str) -> None:
+    if mode == "strict":
+        raise ContractError(message)
+    warnings.warn(message, ContractWarning, stacklevel=4)
+
+
+# ----------------------------------------------------------------------
+# the decorator
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContractInfo:
+    """Registry entry describing one contracted boundary."""
+
+    qualname: str
+    module: str
+    param_specs: dict[str, tuple[ArraySpec, ...]]
+    return_spec: tuple[ArraySpec, ...] | None
+
+
+_registry: list[ContractInfo] = []
+
+#: sentinel filled with the shared code object of every contract wrapper,
+#: so profilers/benchmarks can count wrapper activations (see
+#: ``benchmarks/bench_analysis.py``)
+_WRAPPER_CODE: Any = None
+
+
+def contract_registry() -> tuple[ContractInfo, ...]:
+    """Every contract registered so far (decoration order)."""
+    return tuple(_registry)
+
+
+def wrapper_code() -> Any:
+    """Code object shared by all contract wrappers (None before first use)."""
+    return _WRAPPER_CODE
+
+
+def contract(returns: str | None = None, **param_specs: str) -> Callable[[F], F]:
+    """Declare array contracts on a function boundary.
+
+    Keyword arguments name parameters of the decorated function and map
+    them to spec strings (see :mod:`repro.analysis.spec`); ``returns``
+    contracts the return value.  Named dimensions are shared across all
+    specs of one call.  Validation obeys the global check mode; with
+    checks off the wrapper adds one attribute read and a branch.
+    """
+    parsed = {name: parse_spec(text) for name, text in param_specs.items()}
+    return_spec = parse_spec(returns) if returns is not None else None
+    if not parsed and return_spec is None:
+        raise SpecError("contract() requires at least one spec")
+
+    def decorate(fn: F) -> F:
+        signature = inspect.signature(fn)
+        unknown = set(parsed) - set(signature.parameters)
+        if unknown:
+            raise SpecError(
+                f"contract on {fn.__qualname__} names unknown "
+                f"parameters {sorted(unknown)}"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            mode = _state.mode
+            if mode == "off":
+                return fn(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            dims: dict[str, int] = {}
+            for name, spec in parsed.items():
+                if name in bound.arguments:
+                    check_array(
+                        bound.arguments[name],
+                        spec,
+                        dims,
+                        where=f"{fn.__qualname__}({name})",
+                        mode=mode,
+                    )
+            result = fn(*args, **kwargs)
+            if return_spec is not None:
+                check_array(
+                    result,
+                    return_spec,
+                    dims,
+                    where=f"{fn.__qualname__}() return",
+                    mode=mode,
+                )
+            return result
+
+        info = ContractInfo(
+            qualname=fn.__qualname__,
+            module=fn.__module__,
+            param_specs=parsed,
+            return_spec=return_spec,
+        )
+        _registry.append(info)
+        wrapper.__contract__ = info  # type: ignore[attr-defined]
+        global _WRAPPER_CODE
+        _WRAPPER_CODE = wrapper.__code__
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

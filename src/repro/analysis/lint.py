@@ -1,0 +1,82 @@
+"""``reprolint`` command line: ``python -m repro.analysis.lint src tests``.
+
+Emits ruff-style ``path:line:col: CODE message`` lines and exits 1 when
+any violation survives the per-line waivers.  Also installed as the
+``repro-lint`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .linter import lint_paths
+from .rules import RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-specific static analysis: seeded-RNG discipline, "
+            "float64 invariance, registered event names, data-plane "
+            "routing, mutable defaults, contract coverage."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its one-line summary and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, rule in sorted(RULES.items()):
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{code}  {doc}")
+        return 0
+    select = None
+    if args.select:
+        select = frozenset(
+            code.strip() for code in args.select.split(",") if code.strip()
+        )
+        unknown = select - set(RULES)
+        if unknown:
+            print(
+                f"unknown rule codes: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    violations = lint_paths(list(args.paths), select=select)
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        noun = "violation" if len(violations) == 1 else "violations"
+        print(f"reprolint: {len(violations)} {noun}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""The ``reprolint`` driver: file discovery, waivers, rule execution.
+
+Standard-library only (no numpy), so the lint gate runs in minimal CI
+containers and pre-commit hooks.
+
+Waivers are per-line comments:
+
+``# reprolint: disable=R003`` (or ``disable=R001,R005``)
+    suppresses the listed codes on that line;
+``# reprolint: disable``
+    suppresses every code on that line;
+``# reprolint: no-contract``
+    waives R006 on a ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from .rules import LintContext, Violation, run_rules
+
+__all__ = [
+    "CONTRACT_MODULES",
+    "harvest_event_kinds",
+    "lint_paths",
+    "lint_source",
+]
+
+#: modules whose public array functions must declare contracts (R006);
+#: matched as path fragments against forward-slash-normalized paths
+CONTRACT_MODULES = frozenset(
+    {
+        "repro/features/dct.py",
+        "repro/features/density.py",
+        "repro/features/pipeline.py",
+        "repro/core/sampling.py",
+        "repro/core/uncertainty.py",
+        "repro/core/diversity.py",
+        "repro/core/entropy_weighting.py",
+        "repro/calibration/temperature.py",
+    }
+)
+
+_WAIVER_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|no-contract)"
+    r"(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+
+def _parse_waivers(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> waived codes (None = all codes waived)."""
+    waivers: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        if match.group("kind") == "no-contract":
+            waivers[lineno] = frozenset({"R006"})
+        elif match.group("codes"):
+            codes = frozenset(
+                code.strip()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            waivers[lineno] = codes
+        else:
+            waivers[lineno] = None
+    return waivers
+
+
+def _waived(violation: Violation,
+            waivers: dict[int, frozenset[str] | None]) -> bool:
+    if violation.line not in waivers:
+        return False
+    codes = waivers[violation.line]
+    return codes is None or violation.code in codes
+
+
+def _normalize(path: Path) -> str:
+    return str(path).replace("\\", "/")
+
+
+def harvest_event_kinds(files: list[Path]) -> frozenset[str] | None:
+    """Extract ``EVENT_KINDS`` from an ``engine/events.py`` among ``files``.
+
+    Returns None when no registry module is present (R003 membership is
+    then not checked).
+    """
+    for path in files:
+        if not _normalize(path).endswith("engine/events.py"):
+            continue
+        try:
+            tree = ast.parse(path.read_text())
+        except (OSError, SyntaxError):
+            continue
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "EVENT_KINDS" not in targets:
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                kinds = [
+                    el.value
+                    for el in node.value.elts
+                    if isinstance(el, ast.Constant)
+                    and isinstance(el.value, str)
+                ]
+                if kinds:
+                    return frozenset(kinds)
+    return None
+
+
+def discover_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_source(
+    source: str,
+    path: str,
+    event_kinds: frozenset[str] | None = None,
+    select: frozenset[str] | None = None,
+    contract_modules: frozenset[str] | None = None,
+) -> list[Violation]:
+    """Lint one in-memory module (the unit the rule tests drive)."""
+    normalized = path.replace("\\", "/")
+    context = LintContext(
+        module_path=normalized,
+        event_kinds=event_kinds,
+        contract_modules=(
+            contract_modules if contract_modules is not None
+            else CONTRACT_MODULES
+        ),
+        in_src="src/" in normalized or normalized.startswith("src"),
+    )
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=normalized,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    waivers = _parse_waivers(source)
+    violations = run_rules(tree, context, select=select)
+    kept = [v for v in violations if not _waived(v, waivers)]
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def lint_paths(
+    paths: list[str | Path],
+    select: frozenset[str] | None = None,
+) -> list[Violation]:
+    """Lint files and directory trees; returns all violations found."""
+    files = discover_files(paths)
+    event_kinds = harvest_event_kinds(files)
+    violations: list[Violation] = []
+    for path in files:
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            violations.append(
+                Violation(
+                    path=_normalize(path),
+                    line=1,
+                    col=1,
+                    code="E902",
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        violations.extend(
+            lint_source(
+                source,
+                path=_normalize(path),
+                event_kinds=event_kinds,
+                select=select,
+            )
+        )
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations

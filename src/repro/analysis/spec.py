@@ -1,0 +1,140 @@
+"""Array-spec grammar for runtime contracts.
+
+A spec string describes the dtype and shape of one array-valued argument
+or return value, compactly enough to live inline in a decorator::
+
+    "f8[N,H,W]"      float64, rank 3, dims named N/H/W
+    "f8[N,2]"        float64, rank 2, second dim exactly 2
+    "f[N,D]"         any float dtype
+    "i[N]"           any integer dtype
+    "*[N,*]"         any dtype, rank 2, second dim unconstrained
+    "f8[]"           float64 scalar (rank 0)
+    "f8[N,...]"      float64, rank >= 1, leading dim named N
+    "?f8[N,C,B,B]"   optional — ``None`` is accepted
+    "f8![N]"         finiteness (NaN/Inf) not enforced
+    "f8[N,M]|f8[N]"  alternation — first alternative that matches wins
+
+Named dimensions (identifiers) must bind consistently across every spec
+checked within one call: if ``x`` binds ``N=32`` then a return spec
+``f8[N,D]`` requires the first return dim to be 32.  Integer dims are
+exact sizes; ``*`` matches any size without binding; a trailing ``...``
+allows any number of extra dims.
+
+The module is numpy-free on import failure paths only at the type level —
+parsing itself needs nothing beyond the standard library, so the linter
+can reuse the grammar without pulling in numpy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["ArraySpec", "SpecError", "parse_spec", "DTYPE_CODES"]
+
+
+class SpecError(ValueError):
+    """Malformed spec string (a programming error at decoration time)."""
+
+
+#: dtype code -> set of numpy dtype ``.kind``/``.name`` constraints.
+#: ``kinds`` is checked against ``dtype.kind``; ``name`` (when not None)
+#: additionally pins the exact dtype name.
+DTYPE_CODES = {
+    "f8": ("f", "float64"),
+    "f4": ("f", "float32"),
+    "f2": ("f", "float16"),
+    "f": ("f", None),
+    "i8": ("i", "int64"),
+    "i4": ("i", "int32"),
+    "i": ("i", None),
+    "u": ("u", None),
+    "b": ("b", None),
+    "*": (None, None),
+}
+
+_SPEC_RE = re.compile(
+    r"^(?P<optional>\?)?"
+    r"(?P<dtype>f8|f4|f2|f|i8|i4|i|u|b|\*)"
+    r"(?P<nonfinite>!)?"
+    r"\[(?P<dims>[^\]]*)\]$"
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One parsed alternative of a spec string."""
+
+    dtype_code: str
+    #: each dim is an int (exact), a str (named, must bind consistently),
+    #: ``"*"`` (any size) or ``"..."`` (trailing only: any extra dims)
+    dims: tuple[int | str, ...]
+    optional: bool = False
+    check_finite: bool = True
+    #: the source string, kept for error messages
+    source: str = field(default="", compare=False)
+
+    @property
+    def variadic(self) -> bool:
+        return bool(self.dims) and self.dims[-1] == "..."
+
+    @property
+    def fixed_dims(self) -> tuple[int | str, ...]:
+        return self.dims[:-1] if self.variadic else self.dims
+
+    def describe(self) -> str:
+        return self.source or self._render()
+
+    def _render(self) -> str:
+        inner = ",".join(str(d) for d in self.dims)
+        head = "?" if self.optional else ""
+        bang = "!" if not self.check_finite else ""
+        return f"{head}{self.dtype_code}{bang}[{inner}]"
+
+
+def _parse_one(text: str) -> ArraySpec:
+    match = _SPEC_RE.match(text.strip())
+    if match is None:
+        raise SpecError(
+            f"malformed array spec {text!r}; expected e.g. 'f8[N,H,W]'"
+        )
+    raw_dims = match.group("dims").strip()
+    dims: list[int | str] = []
+    if raw_dims:
+        parts = [part.strip() for part in raw_dims.split(",")]
+        for index, part in enumerate(parts):
+            if part == "...":
+                if index != len(parts) - 1:
+                    raise SpecError(
+                        f"'...' must be the last dim in spec {text!r}"
+                    )
+                dims.append("...")
+            elif part == "*":
+                dims.append("*")
+            elif part.lstrip("-").isdigit():
+                size = int(part)
+                if size < 0:
+                    raise SpecError(
+                        f"negative dim {size} in spec {text!r}"
+                    )
+                dims.append(size)
+            elif _NAME_RE.match(part):
+                dims.append(part)
+            else:
+                raise SpecError(f"bad dim {part!r} in spec {text!r}")
+    return ArraySpec(
+        dtype_code=match.group("dtype"),
+        dims=tuple(dims),
+        optional=match.group("optional") is not None,
+        check_finite=match.group("nonfinite") is None,
+        source=text.strip(),
+    )
+
+
+def parse_spec(text: str) -> tuple[ArraySpec, ...]:
+    """Parse a spec string into its alternatives (``|``-separated)."""
+    if not isinstance(text, str) or not text.strip():
+        raise SpecError(f"spec must be a non-empty string, got {text!r}")
+    return tuple(_parse_one(part) for part in text.split("|"))

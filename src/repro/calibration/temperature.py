@@ -12,11 +12,13 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import minimize_scalar
 
+from ..analysis.contracts import contract
 from ..nn.losses import log_softmax, softmax
 
 __all__ = ["scaled_softmax", "nll", "fit_temperature", "TemperatureScaler"]
 
 
+@contract(logits="f[N,K]", returns="f8[N,K]")
 def scaled_softmax(logits: np.ndarray, temperature: float) -> np.ndarray:
     """Temperature-scaled softmax ``sigma(z / T)`` (Eq. (5))."""
     if temperature <= 0:
@@ -24,6 +26,7 @@ def scaled_softmax(logits: np.ndarray, temperature: float) -> np.ndarray:
     return softmax(np.asarray(logits, dtype=np.float64) / temperature)
 
 
+@contract(logits="f[N,K]", labels="i[N]|b[N]")
 def nll(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
     """Mean negative log likelihood at the given temperature."""
     if temperature <= 0:
@@ -33,6 +36,7 @@ def nll(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
     return float(-log_p[np.arange(len(labels)), labels].mean())
 
 
+@contract(logits="f[N,K]", labels="i[N]|b[N]")
 def fit_temperature(
     logits: np.ndarray,
     labels: np.ndarray,
@@ -70,6 +74,7 @@ class TemperatureScaler:
         self.temperature_ = fit_temperature(logits, labels)
         return self
 
+    @contract(logits="f[N,K]", returns="f8[N,K]")
     def transform(self, logits: np.ndarray) -> np.ndarray:
         """Calibrated probabilities for ``logits``."""
         if self.temperature_ is None:

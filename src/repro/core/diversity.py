@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+
 __all__ = ["diversity_matrix", "diversity_scores"]
 
 
@@ -27,6 +29,7 @@ def _check_features(features: np.ndarray) -> np.ndarray:
     return features
 
 
+@contract(features="f8[N,D]", returns="f8[N,N]")
 def diversity_matrix(features: np.ndarray, assume_normalized: bool = True) -> np.ndarray:
     """Pairwise distance matrix ``D_ij = 1 - x_i . x_j`` (Eq. (8)).
 
@@ -41,6 +44,7 @@ def diversity_matrix(features: np.ndarray, assume_normalized: bool = True) -> np
     return 1.0 - features @ features.T
 
 
+@contract(features="f8[N,D]", returns="f8[N]")
 def diversity_scores(
     features: np.ndarray, assume_normalized: bool = True
 ) -> np.ndarray:

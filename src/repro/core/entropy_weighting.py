@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+
 __all__ = ["minmax_normalize", "index_entropy", "entropy_weights"]
 
 
+@contract(scores="*[N,M]|*[N]", returns="f8[N,M]")
 def minmax_normalize(scores: np.ndarray) -> np.ndarray:
     """Column-wise min-max normalization (Eq. (10)).
 
@@ -35,6 +38,7 @@ def minmax_normalize(scores: np.ndarray) -> np.ndarray:
     return out
 
 
+@contract(normalized="*[N,M]", returns="f8[M]")
 def index_entropy(normalized: np.ndarray) -> np.ndarray:
     """Per-column entropy E_j of normalized scores (Eqs. (11)-(12)).
 
@@ -63,6 +67,7 @@ def index_entropy(normalized: np.ndarray) -> np.ndarray:
     return np.clip(entropies, 0.0, 1.0)
 
 
+@contract(scores="*[N,M]", returns="f8[M]")
 def entropy_weights(scores: np.ndarray) -> np.ndarray:
     """Dynamic indicator weights ``w_j`` (Eq. (13)).
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from .diversity import diversity_scores
 from .entropy_weighting import entropy_weights, minmax_normalize
 from .uncertainty import (
@@ -95,6 +96,7 @@ class SamplingOutcome:
     weights: np.ndarray = field(default_factory=lambda: np.array([0.5, 0.5]))
 
 
+@contract(calibrated_probs="f8[N,2]", embeddings="f8[N,D]")
 def entropy_sampling(
     calibrated_probs: np.ndarray,
     embeddings: np.ndarray,

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+
 __all__ = [
     "bvsb_uncertainty",
     "entropy_uncertainty",
@@ -42,6 +44,7 @@ def _check_probs(probs: np.ndarray) -> np.ndarray:
     return probs
 
 
+@contract(probs="f8[N,2]", returns="f8[N]")
 def bvsb_uncertainty(probs: np.ndarray) -> np.ndarray:
     """Binary BvSB score ``u = 1 - |p0 - p1|`` (Eq. (3)).
 
@@ -51,6 +54,7 @@ def bvsb_uncertainty(probs: np.ndarray) -> np.ndarray:
     return 1.0 - np.abs(probs[:, 0] - probs[:, 1])
 
 
+@contract(probs="f8[N,2]", returns="f8[N]")
 def entropy_uncertainty(probs: np.ndarray) -> np.ndarray:
     """Prediction entropy in nats (0 for one-hot, ln 2 for uniform)."""
     probs = _check_probs(probs)
@@ -58,6 +62,7 @@ def entropy_uncertainty(probs: np.ndarray) -> np.ndarray:
     return -(clipped * np.log(clipped)).sum(axis=1)
 
 
+@contract(probs="f8[N,2]", returns="f8[N]")
 def hotspot_aware_uncertainty(
     probs: np.ndarray, h: float = DEFAULT_DECISION_BOUNDARY
 ) -> np.ndarray:

@@ -32,6 +32,7 @@ from functools import partial
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..engine.events import EventBus
 from ..features.pipeline import FeatureExtractor
 from .cache import FeatureCache, feature_key
@@ -105,11 +106,13 @@ class BatchFeatureExtractor:
         """Lifetime hit/miss counters of the underlying cache."""
         return self.cache.stats.as_dict()
 
+    @contract(returns="f8[N,C,H,W]")
     def encode_batch(self, clips) -> np.ndarray:
         """DCT tensors ``(N, C, H, W)`` — chunked, cached, bit-identical
         to ``FeatureExtractor.encode_batch``."""
         return self._gather(clips, want_flat=False).tensors
 
+    @contract(returns="f8[N,D]")
     def flat_batch(self, clips) -> np.ndarray:
         """Flat vectors ``(N, D)`` — chunked, cached, bit-identical to
         ``FeatureExtractor.flat_batch``."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.fft import dctn, idctn
 
+from ..analysis.contracts import contract
+
 __all__ = [
     "zigzag_indices",
     "block_dct",
@@ -37,6 +39,7 @@ def zigzag_indices(size: int) -> list[tuple[int, int]]:
     return order
 
 
+@contract(image="f8[H,W]", returns="f8[B,B,*,*]")
 def block_dct(image: np.ndarray, blocks: int) -> np.ndarray:
     """Per-block orthonormal 2-D DCT of ``image`` split into a grid.
 
@@ -52,6 +55,7 @@ def block_dct(image: np.ndarray, blocks: int) -> np.ndarray:
     return dctn(tiles, axes=(2, 3), norm="ortho")
 
 
+@contract(image="f8[H,W]", returns="f8[C,B,B]")
 def dct_encode(image: np.ndarray, blocks: int = 12, coeffs: int = 32) -> np.ndarray:
     """Encode a clip raster into a ``(coeffs, blocks, blocks)`` tensor.
 
@@ -73,6 +77,7 @@ def dct_encode(image: np.ndarray, blocks: int = 12, coeffs: int = 32) -> np.ndar
     return spectra[:, :, rows, cols].transpose(2, 0, 1)
 
 
+@contract(images="f8[N,H,W]", returns="f8[N,C,B,B]")
 def dct_encode_stack(
     images: np.ndarray, blocks: int = 12, coeffs: int = 32
 ) -> np.ndarray:
@@ -110,6 +115,7 @@ def dct_encode_stack(
     return spectra[:, :, :, rows, cols].transpose(0, 3, 1, 2)
 
 
+@contract(tensor="f8[C,B,B]", returns="f8[H,W]")
 def dct_decode(tensor: np.ndarray, block_size: int) -> np.ndarray:
     """Approximate inverse of :func:`dct_encode` (truncated spectrum).
 

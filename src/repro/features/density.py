@@ -9,9 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+
 __all__ = ["density_grid", "density_grid_stack", "density_stats"]
 
 
+@contract(image="f8[H,W]", returns="f8[D]")
 def density_grid(image: np.ndarray, cells: int = 8) -> np.ndarray:
     """Average coverage in a ``cells x cells`` grid over the raster.
 
@@ -25,6 +28,7 @@ def density_grid(image: np.ndarray, cells: int = 8) -> np.ndarray:
     return grid.reshape(-1)
 
 
+@contract(images="f8[N,H,W]", returns="f8[N,D]")
 def density_grid_stack(images: np.ndarray, cells: int = 8) -> np.ndarray:
     """Density grids of a raster stack, shape ``(N, cells**2)``.
 
@@ -45,6 +49,7 @@ def density_grid_stack(images: np.ndarray, cells: int = 8) -> np.ndarray:
     return grid.reshape(n, -1)
 
 
+@contract(image="f8[H,W]", returns="f8[5]")
 def density_stats(image: np.ndarray) -> np.ndarray:
     """Five summary statistics of a clip raster.
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..layout.clip import Clip
 from .dct import dct_encode, dct_encode_stack
 from .density import density_grid, density_grid_stack
@@ -85,6 +86,7 @@ class FeatureExtractor:
         """Antialiased raster of one clip."""
         return clip.raster(self.grid, antialias=True)
 
+    @contract(returns="f8[N,G,G]")
     def raster_stack(self, clips) -> np.ndarray:
         """Rasters of many clips, stacked into ``(N, grid, grid)``."""
         clips = list(clips)
@@ -92,14 +94,17 @@ class FeatureExtractor:
             return np.zeros((0, self.grid, self.grid))
         return np.stack([self.raster(clip) for clip in clips])
 
+    @contract(returns="f8[C,B,B]")
     def encode(self, clip: Clip) -> np.ndarray:
         """DCT tensor ``(coeffs, blocks, blocks)`` of one clip."""
         return dct_encode(self.raster(clip), self.blocks, self.coeffs)
 
+    @contract(rasters="f8[N,G,G]", returns="f8[N,C,B,B]")
     def encode_rasters(self, rasters: np.ndarray) -> np.ndarray:
         """DCT tensors of pre-computed rasters (vectorized)."""
         return dct_encode_stack(rasters, self.blocks, self.coeffs)
 
+    @contract(rasters="f8[N,G,G]", tensors="?f8[N,C,B,B]", returns="f8[N,D]")
     def flats_from_rasters(
         self, rasters: np.ndarray, tensors: np.ndarray | None = None
     ) -> np.ndarray:
@@ -116,16 +121,19 @@ class FeatureExtractor:
             [tensors.reshape(len(rasters), -1), density], axis=1
         )
 
+    @contract(returns="f8[N,C,B,B]")
     def encode_batch(self, clips) -> np.ndarray:
         """DCT tensors for many clips, stacked into ``(N, C, H, W)``."""
         return self.encode_rasters(self.raster_stack(clips))
 
+    @contract(returns="f8[D]")
     def flat_features(self, clip: Clip) -> np.ndarray:
         """Flat vector for distribution modelling (GMM): DCT + density."""
         tensor = self.encode(clip)
         density = density_grid(self.raster(clip), self.density_cells)
         return np.concatenate([tensor.reshape(-1), density])
 
+    @contract(returns="f8[N,D]")
     def flat_batch(self, clips) -> np.ndarray:
         clips = list(clips)
         if not clips:

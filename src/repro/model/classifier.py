@@ -13,6 +13,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from ..nn import Adam, SoftmaxCrossEntropy, softmax
 from .cnn import build_hotspot_cnn, build_hotspot_mlp
 from .scaler import TensorScaler
@@ -105,6 +106,7 @@ class HotspotClassifier:
             return SoftmaxCrossEntropy(class_weights=weights)
         return SoftmaxCrossEntropy()
 
+    @contract(x="*[N,C,H,W]", y="i[N]|b[N]")
     def fit(
         self,
         x: np.ndarray,
@@ -211,6 +213,7 @@ class HotspotClassifier:
         x = np.asarray(x, dtype=np.float64)
         return x if prescaled else self.scaler.transform(x)
 
+    @contract(x="*[N,C,H,W]", returns="f8[N,2]")
     def predict_logits(
         self, x: np.ndarray, prescaled: bool = False
     ) -> np.ndarray:
@@ -220,6 +223,7 @@ class HotspotClassifier:
         x = self._prepare(x, prescaled)
         return self.network.predict_logits(x, batch_size=max(self.batch_size, 128))
 
+    @contract(x="*[N,C,H,W]", returns="f8[N,2]")
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Uncalibrated softmax probabilities (Eq. (4))."""
         return softmax(self.predict_logits(x))
@@ -227,6 +231,7 @@ class HotspotClassifier:
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.predict_logits(x).argmax(axis=1)
 
+    @contract(x="*[N,C,H,W]")
     def predict_full(
         self,
         x: np.ndarray,
@@ -262,6 +267,7 @@ class HotspotClassifier:
         norms = np.linalg.norm(features, axis=1, keepdims=True)
         return features / np.maximum(norms, 1e-12)
 
+    @contract(x="*[N,C,H,W]", returns="f8[N,D]")
     def embeddings(
         self,
         x: np.ndarray,

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+
 __all__ = ["TensorScaler"]
 
 
@@ -21,6 +23,7 @@ class TensorScaler:
         self.mean_: np.ndarray | None = None
         self.std_: np.ndarray | None = None
 
+    @contract(x="f8[N,C,H,W]")
     def fit(self, x: np.ndarray) -> "TensorScaler":
         if x.ndim != 4:
             raise ValueError(f"expected (N, C, H, W), got {x.shape}")
@@ -30,6 +33,7 @@ class TensorScaler:
         self.std_ = x.std(axis=(0, 2, 3), keepdims=True)[0] + self.eps
         return self
 
+    @contract(x="f8[N,C,H,W]", returns="f8[N,C,H,W]")
     def transform(self, x: np.ndarray) -> np.ndarray:
         if self.mean_ is None:
             raise RuntimeError("TensorScaler is not fitted")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from .im2col import col2im, conv_output_size, im2col
 from .initializers import get_initializer
 
@@ -88,6 +89,7 @@ class Dense(Layer):
         self.grad_bias = np.zeros_like(self.bias)
         self._x: np.ndarray | None = None
 
+    @contract(x="f8[N,F]", returns="f8[N,K]")
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
@@ -147,6 +149,7 @@ class Conv2D(Layer):
         self._cols: np.ndarray | None = None
         self._input_shape: tuple[int, int, int, int] | None = None
 
+    @contract(x="f8[N,C,H,W]", returns="f8[N,K,OH,OW]")
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(

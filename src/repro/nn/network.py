@@ -12,6 +12,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..analysis.contracts import contract
 from .layers import Layer
 
 __all__ = ["Sequential"]
@@ -137,6 +138,7 @@ class Sequential:
     # ------------------------------------------------------------------
     # inference helpers
     # ------------------------------------------------------------------
+    @contract(x="f8[N,...]", returns="f8[N,K]")
     def predict_logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Batched inference returning raw logits."""
         outputs = []

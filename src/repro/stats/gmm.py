@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+
 __all__ = ["GaussianMixture"]
 
 
@@ -67,6 +69,7 @@ class GaussianMixture:
             means.append(x[rng.choice(n, p=d2 / total)])
         return np.array(means)
 
+    @contract(x="*[N,D]")
     def fit(self, x: np.ndarray) -> "GaussianMixture":
         """Run EM on data ``x`` of shape (N, D)."""
         x = np.asarray(x, dtype=np.float64)
@@ -126,6 +129,7 @@ class GaussianMixture:
         if self.means_ is None:
             raise RuntimeError("GaussianMixture is not fitted")
 
+    @contract(x="*[N,D]", returns="f8[N]")
     def score_samples(self, x: np.ndarray) -> np.ndarray:
         """Log-likelihood of each sample under the mixture."""
         self._check_fitted()
@@ -133,6 +137,7 @@ class GaussianMixture:
         weighted = self._log_prob_components(x) + np.log(self.weights_)[None]
         return _logsumexp(weighted, axis=1)
 
+    @contract(x="*[N,D]", returns="f8[N]")
     def posterior(self, x: np.ndarray) -> np.ndarray:
         """Posterior probability of each sample (normalized density).
 
@@ -144,6 +149,7 @@ class GaussianMixture:
         log_density = self.score_samples(x)
         return np.exp(np.minimum(log_density - self._log_density_ref_, 0.0))
 
+    @contract(x="*[N,D]", returns="f8[N,K]")
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Component responsibilities, shape (N, K), rows sum to 1."""
         self._check_fitted()

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import contract
+
 __all__ = ["PCA"]
 
 
@@ -24,6 +26,7 @@ class PCA:
         self.explained_variance_: np.ndarray | None = None
         self.explained_variance_ratio_: np.ndarray | None = None
 
+    @contract(x="*[N,D]")
     def fit(self, x: np.ndarray) -> "PCA":
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
@@ -47,6 +50,7 @@ class PCA:
         if self.components_ is None:
             raise RuntimeError("PCA is not fitted")
 
+    @contract(x="*[N,D]", returns="f8[N,K]")
     def transform(self, x: np.ndarray) -> np.ndarray:
         self._check_fitted()
         return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
@@ -54,6 +58,7 @@ class PCA:
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         return self.fit(x).transform(x)
 
+    @contract(z="*[N,K]", returns="f8[N,D]")
     def inverse_transform(self, z: np.ndarray) -> np.ndarray:
         self._check_fitted()
         return np.asarray(z, dtype=np.float64) @ self.components_ + self.mean_

@@ -1,0 +1,284 @@
+"""Runtime array-contract tests: spec grammar + check_array + @contract."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    ContractError,
+    ContractWarning,
+    check_array,
+    check_mode,
+    checking,
+    contract,
+    set_check_mode,
+)
+from repro.analysis.spec import ArraySpec, SpecError, parse_spec
+
+
+@pytest.fixture(autouse=True)
+def _strict_mode():
+    """Run every test here in strict mode unless it switches explicitly."""
+    previous = set_check_mode("strict")
+    yield
+    set_check_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# spec grammar
+# ----------------------------------------------------------------------
+class TestParseSpec:
+    def test_basic(self):
+        (spec,) = parse_spec("f8[N,H,W]")
+        assert spec.dtype_code == "f8"
+        assert spec.dims == ("N", "H", "W")
+        assert not spec.optional
+        assert spec.check_finite
+
+    def test_exact_and_wildcard_dims(self):
+        (spec,) = parse_spec("*[N,2,*]")
+        assert spec.dims == ("N", 2, "*")
+
+    def test_scalar(self):
+        (spec,) = parse_spec("f8[]")
+        assert spec.dims == ()
+
+    def test_optional_and_nonfinite_flags(self):
+        (spec,) = parse_spec("?f8![N]")
+        assert spec.optional
+        assert not spec.check_finite
+
+    def test_variadic(self):
+        (spec,) = parse_spec("f8[N,...]")
+        assert spec.variadic
+        assert spec.fixed_dims == ("N",)
+
+    def test_alternation(self):
+        alts = parse_spec("f8[N,M]|f8[N]")
+        assert len(alts) == 2
+        assert alts[0].dims == ("N", "M")
+        assert alts[1].dims == ("N",)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "f8", "f8[N", "q[N]", "f8[N,...,M]", "f8[-1]", "f8[N-]"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+    def test_describe_roundtrips_source(self):
+        (spec,) = parse_spec("  f8[N,2] ")
+        assert spec.describe() == "f8[N,2]"
+        rendered = ArraySpec(dtype_code="f8", dims=("N", 2)).describe()
+        assert rendered == "f8[N,2]"
+
+
+# ----------------------------------------------------------------------
+# check_array
+# ----------------------------------------------------------------------
+class TestCheckArray:
+    def test_accepts_matching(self):
+        x = np.zeros((3, 2))
+        assert check_array(x, "f8[N,2]") is x
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ContractError, match="dtype"):
+            check_array(np.zeros((3, 2), dtype=np.float32), "f8[N,2]")
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ContractError, match="rank"):
+            check_array(np.zeros(3), "f8[N,2]")
+
+    def test_rejects_wrong_exact_dim(self):
+        with pytest.raises(ContractError, match="size 3, expected 2"):
+            check_array(np.zeros((4, 3)), "f8[N,2]")
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ContractError, match="NaN or Inf"):
+            check_array(np.array([1.0, np.nan]), "f8[N]")
+        with pytest.raises(ContractError, match="NaN or Inf"):
+            check_array(np.array([1.0, np.inf]), "f8[N]")
+
+    def test_nonfinite_flag_skips_finiteness(self):
+        x = np.array([1.0, np.nan])
+        assert check_array(x, "f8![N]") is x
+
+    def test_named_dims_bind_across_calls(self):
+        dims = {}
+        check_array(np.zeros((3, 5)), "f8[N,D]", dims)
+        assert dims == {"N": 3, "D": 5}
+        with pytest.raises(ContractError, match="named dim 'N'"):
+            check_array(np.zeros(4), "f8[N]", dims)
+
+    def test_named_dim_consistency_within_one_spec(self):
+        assert check_array(np.zeros((2, 3, 3)), "f8[C,B,B]") is not None
+        with pytest.raises(ContractError, match="named dim 'B'"):
+            check_array(np.zeros((2, 3, 4)), "f8[C,B,B]")
+
+    def test_optional_accepts_none(self):
+        assert check_array(None, "?f8[N]") is None
+        with pytest.raises(ContractError, match="got None"):
+            check_array(None, "f8[N]")
+
+    def test_alternation_first_match_wins(self):
+        assert check_array(np.zeros(4), "f8[N,M]|f8[N]") is not None
+
+    def test_failed_alternative_does_not_leak_bindings(self):
+        dims = {}
+        # first alternative f8[N,N] fails on (2, 3) but must not bind N
+        check_array(np.zeros((2, 3)), "f8[N,N]|f8[N,M]", dims)
+        assert dims == {"N": 2, "M": 3}
+
+    def test_variadic_minimum_rank(self):
+        check_array(np.zeros((2, 3, 4, 5)), "f8[N,...]")
+        with pytest.raises(ContractError, match="rank"):
+            check_array(np.zeros(()), "f8[N,...]")
+
+    def test_lenient_dtype_codes(self):
+        check_array(np.zeros(3, dtype=np.float32), "f[N]")
+        check_array(np.zeros(3, dtype=np.int32), "i[N]")
+        check_array(np.zeros(3, dtype=bool), "b[N]")
+        check_array(np.zeros(3, dtype=np.uint8), "*[N]")
+
+    def test_array_likes_are_coerced_for_checking(self):
+        value = [[1.0, 2.0], [3.0, 4.0]]
+        assert check_array(value, "f8[N,2]") is value
+
+    def test_warn_mode_warns_and_continues(self):
+        x = np.zeros((3, 3))
+        with pytest.warns(ContractWarning, match="matches no"):
+            out = check_array(x, "f8[N,2]", mode="warn")
+        assert out is x
+
+    def test_off_mode_is_a_noop(self):
+        x = np.array([np.nan])
+        assert check_array(x, "i8[2,2]", mode="off") is x
+
+
+# ----------------------------------------------------------------------
+# modes
+# ----------------------------------------------------------------------
+class TestModes:
+    def test_set_and_restore(self):
+        assert check_mode() == "strict"
+        with checking("off"):
+            assert check_mode() == "off"
+        assert check_mode() == "strict"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            set_check_mode("loud")
+
+    def test_env_resolution(self):
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        code = (
+            "from repro.analysis.contracts import check_mode; "
+            "print(check_mode())"
+        )
+        env = dict(os.environ, REPRO_CHECK="warn", PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "warn"
+
+
+# ----------------------------------------------------------------------
+# the decorator
+# ----------------------------------------------------------------------
+class TestContractDecorator:
+    def test_accepts_and_returns(self):
+        @contract(x="f8[N,D]", returns="f8[N]")
+        def row_sums(x):
+            return x.sum(axis=1)
+
+        out = row_sums(np.ones((3, 4)))
+        assert out.shape == (3,)
+
+    def test_rejects_bad_argument(self):
+        @contract(x="f8[N,2]")
+        def f(x):
+            return x
+
+        with pytest.raises(ContractError, match=r"f\(x\)"):
+            f(np.zeros((3, 4)))
+
+    def test_rejects_bad_return(self):
+        @contract(x="f8[N]", returns="f8[N,2]")
+        def f(x):
+            return x
+
+        with pytest.raises(ContractError, match="return"):
+            f(np.zeros(3))
+
+    def test_named_dims_shared_between_args_and_return(self):
+        @contract(x="f8[N,D]", returns="f8[N]")
+        def wrong_length(x):
+            return np.zeros(len(x) + 1)
+
+        with pytest.raises(ContractError, match="named dim 'N'"):
+            wrong_length(np.zeros((3, 2)))
+
+    def test_contract_error_is_value_and_type_error(self):
+        @contract(x="f8[N,2]")
+        def f(x):
+            return x
+
+        with pytest.raises(ValueError):
+            f(np.zeros((3, 3)))
+        with pytest.raises(TypeError):
+            f(np.zeros((3, 3)))
+
+    def test_methods_are_supported(self):
+        class Model:
+            @contract(x="f8[N,D]", returns="f8[N]")
+            def score(self, x):
+                return x.mean(axis=1)
+
+        assert Model().score(np.ones((2, 3))).shape == (2,)
+
+    def test_off_mode_skips_validation(self):
+        @contract(x="f8[N,2]")
+        def f(x):
+            return x
+
+        with checking("off"):
+            f(np.zeros((3, 7)))  # would fail in strict
+
+    def test_warn_mode_warns_once_per_violation(self):
+        @contract(x="f8[N,2]")
+        def f(x):
+            return x
+
+        with checking("warn"), pytest.warns(ContractWarning):
+            f(np.zeros((3, 7)))
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(SpecError, match="unknown"):
+            @contract(nope="f8[N]")
+            def f(x):
+                return x
+
+    def test_empty_contract_rejected(self):
+        with pytest.raises(SpecError, match="at least one spec"):
+            contract()
+
+    def test_registry_and_metadata(self):
+        @contract(x="f8[N]")
+        def documented(x):
+            """Docstring survives wrapping."""
+            return x
+
+        assert documented.__doc__ == "Docstring survives wrapping."
+        info = documented.__contract__
+        assert info.qualname.endswith("documented")
+        assert "x" in info.param_specs

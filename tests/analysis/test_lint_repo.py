@@ -1,0 +1,48 @@
+"""The repo gates itself: reprolint over src+tests must be clean.
+
+Mirrors the CI step ``python -m repro.analysis.lint src tests`` so a
+violation fails locally before it fails remotely.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import main
+from repro.analysis.linter import discover_files, harvest_event_kinds, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def repo_cwd(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+
+
+def test_repo_is_lint_clean(repo_cwd):
+    violations = lint_paths(["src", "tests"])
+    rendered = "\n".join(v.render() for v in violations)
+    assert violations == [], f"reprolint violations:\n{rendered}"
+
+
+def test_event_kinds_are_harvested(repo_cwd):
+    kinds = harvest_event_kinds(discover_files(["src"]))
+    assert kinds is not None
+    assert "features_extracted" in kinds
+
+
+def test_cli_exit_codes(repo_cwd, capsys):
+    assert main(["src", "tests", "--quiet"]) == 0
+    # an in-tree violation flips the exit code
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "R001" in out and "R006" in out
+
+
+def test_cli_reports_violations(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out

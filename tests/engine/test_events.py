@@ -39,7 +39,7 @@ class TestEventBus:
     def test_unknown_kind_rejected(self):
         bus = EventBus()
         with pytest.raises(ValueError, match="unknown event kind"):
-            bus.emit("coffee_break")
+            bus.emit("coffee_break")  # reprolint: disable=R003
         with pytest.raises(ValueError, match="unknown event kinds"):
             bus.subscribe(lambda e: None, kinds=["coffee_break"])
 
