@@ -40,6 +40,7 @@ CONTRACT_MODULES = frozenset(
         "repro/core/diversity.py",
         "repro/core/entropy_weighting.py",
         "repro/calibration/temperature.py",
+        "repro/engine/checkpoint.py",
     }
 )
 

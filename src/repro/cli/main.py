@@ -66,6 +66,18 @@ def build_detect_parser() -> argparse.ArgumentParser:
     parser.add_argument("--feature-cache", default=None, metavar="DIR",
                         help="directory of the on-disk feature cache "
                              "(default: in-memory tier only)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write crash-safe run checkpoints to this "
+                             "directory (default: no checkpointing)")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="K",
+                        help="iterations between checkpoints when "
+                             "--checkpoint-dir is set (default 1)")
+    parser.add_argument("--resume", default=None, metavar="CKPT",
+                        help="resume from a checkpoint written by a "
+                             "previous --checkpoint-dir run (base path "
+                             "or .json/.npz file); continuation is "
+                             "bit-identical to an uninterrupted run")
     from ..engine import framework_method_names
 
     parser.add_argument("--method", choices=framework_method_names(),
@@ -177,8 +189,22 @@ def detect_main(argv=None) -> int:
         seed=args.seed,
         selector=args.method,  # resolved through the engine registry
         dataplane=plane_cfg,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=(
+            max(args.checkpoint_every, 1) if args.checkpoint_dir else 0
+        ),
     )
-    result = PSHDFramework(dataset, config, bus=bus).run()
+    framework = PSHDFramework(dataset, config, bus=bus)
+    if args.resume:
+        from ..engine.checkpoint import CheckpointError
+
+        try:
+            result = framework.resume(args.resume)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        result = framework.run()
 
     print(f"\ndetection accuracy (Eq. 1): {100 * result.accuracy:.2f}%")
     print(f"litho-clips (Eq. 2):        {result.litho} "

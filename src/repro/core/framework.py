@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -44,6 +45,14 @@ import numpy as np
 from ..calibration.temperature import TemperatureScaler
 from ..data.dataset import ClipDataset, DatasetLabeler
 from ..dataplane.config import DataPlaneConfig
+from ..engine.checkpoint import (
+    CheckpointError,
+    RunCheckpoint,
+    load_checkpoint,
+    posterior_array,
+    save_checkpoint,
+    scaler_arrays,
+)
 from ..engine.events import EventBus, HistoryRecorder
 from ..engine.session import InferenceSession
 from ..model.classifier import HotspotClassifier
@@ -140,6 +149,10 @@ class FrameworkConfig:
     #: feature-cache tiers) used by entry points that extract features
     #: or batch-label for this run (CLI detect, benchmark builds)
     dataplane: DataPlaneConfig = field(default_factory=DataPlaneConfig)
+    #: write a crash-safe checkpoint to ``checkpoint_dir`` every this
+    #: many completed iterations (0 = off); see repro.engine.checkpoint
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         for name in ("n_query", "k_batch", "n_iterations", "init_train",
@@ -151,6 +164,10 @@ class FrameworkConfig:
                 "posterior_features must be 'density' or 'flat', got "
                 f"{self.posterior_features!r}"
             )
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
 
 
 class PSHDFramework:
@@ -476,40 +493,45 @@ class PSHDFramework:
         )
         return hits, false_alarms
 
-    def run(self) -> PSHDResult:
-        """Execute Algorithm 2 and score the result (Eqs. (1)-(2))."""
+    def _run_loop(
+        self,
+        session: InferenceSession,
+        state: _RunState,
+        rng: np.random.Generator,
+        recorder: HistoryRecorder,
+        first_iteration: int,
+    ) -> tuple[int, int]:
+        """Iterations ``first_iteration..N`` plus final detection."""
         cfg = self.config
+        for iteration in range(first_iteration, cfg.n_iterations + 1):
+            if not state.pool:
+                break
+            self.bus.emit(
+                "iteration_start",
+                iteration=iteration,
+                pool_size=len(state.pool),
+                litho_used=self.labeler.query_count,
+            )
+            self._calibrate(session, state)
+            selection = self._stage_select(session, state, rng, iteration)
+            if selection is None:
+                break
+            state.iterations_run = iteration
+            query, batch, diag = selection
+            self._stage_update(state, iteration, query, batch, diag)
+            self._maybe_checkpoint(state, rng, recorder, iteration)
+
+        return self._stage_detect(session, state)
+
+    def _build_result(
+        self,
+        state: _RunState,
+        hits: int,
+        false_alarms: int,
+        elapsed: float,
+        recorder: HistoryRecorder,
+    ) -> PSHDResult:
         dataset = self.dataset
-        rng = np.random.default_rng(cfg.seed)
-        started = time.perf_counter()
-
-        session = InferenceSession(self.classifier, dataset.tensors)
-        recorder = self.bus.subscribe(HistoryRecorder())
-        try:
-            state = self._stage_seed()
-
-            for iteration in range(1, cfg.n_iterations + 1):
-                if not state.pool:
-                    break
-                self.bus.emit(
-                    "iteration_start",
-                    iteration=iteration,
-                    pool_size=len(state.pool),
-                    litho_used=self.labeler.query_count,
-                )
-                self._calibrate(session, state)
-                selection = self._stage_select(session, state, rng, iteration)
-                if selection is None:
-                    break
-                state.iterations_run = iteration
-                query, batch, diag = selection
-                self._stage_update(state, iteration, query, batch, diag)
-
-            hits, false_alarms = self._stage_detect(session, state)
-        finally:
-            self.bus.unsubscribe(recorder)
-
-        elapsed = time.perf_counter() - started
         hs_train = int(np.sum(state.y_train))
         hs_val = int(np.sum(state.y_val))
         accuracy = pshd_accuracy(hs_train, hs_val, hits, dataset.n_hotspots)
@@ -519,7 +541,7 @@ class PSHDFramework:
 
         return PSHDResult(
             benchmark=dataset.name,
-            method=cfg.method_name,
+            method=self.config.method_name,
             accuracy=accuracy,
             litho=litho,
             hits=hits,
@@ -531,4 +553,225 @@ class PSHDFramework:
             pshd_seconds=elapsed,
             history=recorder.history,
             labeled=self.labeler.labeled_indices,
+        )
+
+    def run(self) -> PSHDResult:
+        """Execute Algorithm 2 and score the result (Eqs. (1)-(2))."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        started = time.perf_counter()
+
+        session = InferenceSession(self.classifier, self.dataset.tensors)
+        recorder = self.bus.subscribe(HistoryRecorder())
+        try:
+            state = self._stage_seed()
+            hits, false_alarms = self._run_loop(
+                session, state, rng, recorder, first_iteration=1
+            )
+        finally:
+            self.bus.unsubscribe(recorder)
+
+        return self._build_result(
+            state, hits, false_alarms, time.perf_counter() - started, recorder
+        )
+
+    def resume(self, path) -> PSHDResult:
+        """Re-enter Algorithm 2 from a checkpoint written by a previous
+        (possibly killed) run of the *same* configuration.
+
+        Restores every artifact the loop threads between iterations —
+        weights, scaler statistics, optimizer moments, temperature,
+        the L/V/U index sets, labeler meter, loop counters and both RNG
+        bit states — so continuation is bit-identical to a run that was
+        never interrupted: same selections, same litho spend, same
+        final weights.  Raises
+        :class:`~repro.engine.checkpoint.CheckpointError` when the
+        checkpoint does not match this framework's dataset/config.
+        """
+        started = time.perf_counter()
+        checkpoint = load_checkpoint(path)
+        state, rng = self._restore_checkpoint(checkpoint)
+
+        session = InferenceSession(self.classifier, self.dataset.tensors)
+        recorder = HistoryRecorder()
+        recorder.history = list(checkpoint.history)
+        self.bus.subscribe(recorder)
+        self.bus.emit(
+            "run_resumed",
+            iteration=checkpoint.iteration,
+            path=str(path),
+            pool_size=len(state.pool),
+            litho_used=self.labeler.query_count,
+        )
+        try:
+            hits, false_alarms = self._run_loop(
+                session,
+                state,
+                rng,
+                recorder,
+                first_iteration=checkpoint.iteration + 1,
+            )
+        finally:
+            self.bus.unsubscribe(recorder)
+
+        return self._build_result(
+            state, hits, false_alarms, time.perf_counter() - started, recorder
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> dict:
+        """Everything that must match between the checkpointing and the
+        resuming run for bit-identical continuation.  ``n_iterations``
+        is deliberately absent — a resumed run may extend the loop."""
+        cfg = self.config
+        return {
+            "benchmark": self.dataset.name,
+            "n_clips": len(self.dataset),
+            "method": cfg.method_name,
+            "arch": cfg.arch,
+            "seed": cfg.seed,
+            "n_query": cfg.n_query,
+            "k_batch": cfg.k_batch,
+            "init_train": cfg.init_train,
+            "val_size": cfg.val_size,
+            "posterior_features": cfg.posterior_features,
+            "augment": cfg.augment,
+            "calibrate": cfg.calibrate,
+            "discard_query_rest": cfg.discard_query_rest,
+            "lr": cfg.lr,
+            "epochs_initial": cfg.epochs_initial,
+            "epochs_update": cfg.epochs_update,
+        }
+
+    def _capture_checkpoint(
+        self,
+        state: _RunState,
+        rng: np.random.Generator,
+        recorder: HistoryRecorder,
+        iteration: int,
+    ) -> RunCheckpoint:
+        classifier = self.classifier
+        arrays: dict[str, np.ndarray] = {
+            f"net/{key}": value
+            for key, value in classifier.network.get_weights().items()
+        }
+        arrays.update(
+            {
+                f"optim/{key}": value
+                for key, value in classifier.optimizer_state_arrays().items()
+            }
+        )
+        arrays.update(
+            scaler_arrays(classifier.scaler.mean_, classifier.scaler.std_)
+        )
+        arrays["state/posterior"] = posterior_array(state.posterior)
+
+        return RunCheckpoint(
+            schema=self._fingerprint(),
+            iteration=iteration,
+            rng_state=rng.bit_generator.state,
+            shuffle_rng_state=classifier.shuffle_rng_state(),
+            temperature=state.temperature.temperature_,
+            index_sets={
+                "train_idx": [int(i) for i in state.train_idx],
+                "y_train": [int(y) for y in state.y_train],
+                "val_idx": [int(i) for i in state.val_idx],
+                "y_val": [int(y) for y in state.y_val],
+                "pool": [int(i) for i in state.pool],
+                "discarded": [int(i) for i in state.discarded],
+                "batch_hotspot_trace": list(state.batch_hotspot_trace),
+                "iterations_run": state.iterations_run,
+            },
+            labeler_state=self.labeler.get_state(),
+            history=recorder.history,
+            arrays=arrays,
+        )
+
+    def _restore_checkpoint(
+        self, checkpoint: RunCheckpoint
+    ) -> tuple[_RunState, np.random.Generator]:
+        expected = self._fingerprint()
+        if checkpoint.schema != expected:
+            diffs = sorted(
+                key
+                for key in set(expected) | set(checkpoint.schema)
+                if expected.get(key) != checkpoint.schema.get(key)
+            )
+            raise CheckpointError(
+                "checkpoint does not match this run configuration; "
+                f"differing fields: {diffs}"
+            )
+
+        classifier = self.classifier
+        arrays = checkpoint.arrays
+        try:
+            classifier.network.set_weights(
+                {
+                    key[len("net/"):]: value
+                    for key, value in arrays.items()
+                    if key.startswith("net/")
+                }
+            )
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint weights do not fit the {self.config.arch!r} "
+                f"network: {exc}"
+            ) from exc
+        classifier.restore_optimizer_state(
+            {
+                key[len("optim/"):]: value
+                for key, value in arrays.items()
+                if key.startswith("optim/")
+            }
+        )
+        classifier.scaler.mean_ = arrays["scaler/mean"]
+        classifier.scaler.std_ = arrays["scaler/std"]
+        classifier.scaler_version += 1
+        classifier._fitted = True
+        classifier.set_shuffle_rng_state(checkpoint.shuffle_rng_state)
+        self.labeler.set_state(checkpoint.labeler_state)
+
+        temperature = TemperatureScaler()
+        temperature.temperature_ = checkpoint.temperature
+        sets = checkpoint.index_sets
+        state = _RunState(
+            posterior=posterior_array(arrays["state/posterior"]),
+            train_idx=[int(i) for i in sets["train_idx"]],
+            y_train=[int(y) for y in sets["y_train"]],
+            val_idx=np.asarray(sets["val_idx"], dtype=np.int64),
+            y_val=np.asarray(sets["y_val"], dtype=np.int64),
+            pool=[int(i) for i in sets["pool"]],
+            temperature=temperature,
+            discarded=[int(i) for i in sets["discarded"]],
+            batch_hotspot_trace=[int(n) for n in sets["batch_hotspot_trace"]],
+            iterations_run=int(sets["iterations_run"]),
+        )
+
+        rng = np.random.default_rng(self.config.seed)
+        rng.bit_generator.state = checkpoint.rng_state
+        return state, rng
+
+    def _maybe_checkpoint(
+        self,
+        state: _RunState,
+        rng: np.random.Generator,
+        recorder: HistoryRecorder,
+        iteration: int,
+    ) -> None:
+        cfg = self.config
+        if not cfg.checkpoint_every or iteration % cfg.checkpoint_every:
+            return
+        stage_start = time.perf_counter()
+        checkpoint = self._capture_checkpoint(state, rng, recorder, iteration)
+        path = save_checkpoint(
+            checkpoint,
+            Path(cfg.checkpoint_dir) / f"checkpoint_iter{iteration:04d}",
+        )
+        self.bus.emit(
+            "checkpoint_saved",
+            iteration=iteration,
+            path=str(path),
+            checkpoint_seconds=time.perf_counter() - stage_start,
         )

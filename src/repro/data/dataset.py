@@ -155,6 +155,28 @@ class DatasetLabeler:
     def is_labeled(self, index: int) -> bool:
         return int(index) in self._seen
 
+    # ------------------------------------------------------------------
+    # checkpoint persistence
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-serializable labeled-index set + cost meter (for
+        :mod:`repro.engine.checkpoint`)."""
+        return {
+            "seen": sorted(int(i) for i in self._seen),
+            "query_count": int(self.query_count),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_state`."""
+        seen = [int(i) for i in state["seen"]]
+        bad = [i for i in seen if not 0 <= i < len(self.dataset)]
+        if bad:
+            raise ValueError(
+                f"labeler state references out-of-range clip indices {bad[:5]}"
+            )
+        self._seen = set(seen)
+        self.query_count = int(state["query_count"])
+
     @property
     def labeled_indices(self) -> np.ndarray:
         return np.array(sorted(self._seen), dtype=np.int64)

@@ -11,9 +11,9 @@ layers (``repro.litho``, ``repro.data``) can reuse them without cycles.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterator, Sequence, TypeVar
 
-__all__ = ["chunked", "map_chunks"]
+__all__ = ["chunked", "imap_chunks", "map_chunks"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -27,6 +27,59 @@ def chunked(items: Sequence[T], size: int) -> list[list[T]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+def _iter_chunks(
+    fn: Callable[[list[T]], R],
+    parts: list[list[T]],
+    workers: int,
+    executor: str,
+) -> Iterator[R]:
+    """Yield per-chunk results in input order (lazy pool consumption).
+
+    Only the *pool constructor* runs under the availability guard:
+    start-up failures (restricted environments without process spawning)
+    fall back to the serial path.  Exceptions raised by ``fn`` itself —
+    including ``OSError`` from a task — always propagate; silently
+    re-running chunks serially would mask real errors and double-execute
+    side-effectful work (e.g. double-simulate litho clips).
+    """
+    if workers <= 0 or len(parts) <= 1:
+        yield from (fn(part) for part in parts)
+        return
+    pool_cls = (
+        ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    )
+    try:
+        pool = pool_cls(max_workers=min(workers, len(parts)))
+    except (OSError, PermissionError):  # pool unavailable -> serial fallback
+        pool = None
+    if pool is None:
+        yield from (fn(part) for part in parts)
+        return
+    with pool:
+        yield from pool.map(fn, parts)
+
+
+def imap_chunks(
+    fn: Callable[[list[T]], R],
+    items: Sequence[T],
+    chunk_size: int,
+    workers: int = 0,
+    executor: str = "thread",
+) -> Iterator[R]:
+    """Lazy :func:`map_chunks`: an iterator of per-chunk results.
+
+    Results arrive in input order as chunks complete, so callers can
+    commit partial progress (e.g. cache litho verdicts per chunk); when
+    ``fn`` raises for chunk ``N``, the exception surfaces after chunks
+    ``0..N-1`` were already yielded.
+    """
+    parts = chunked(items, chunk_size)
+    if parts and workers > 0 and len(parts) > 1:
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+    return _iter_chunks(fn, parts, workers, executor)
+
+
 def map_chunks(
     fn: Callable[[list[T]], R],
     items: Sequence[T],
@@ -37,24 +90,8 @@ def map_chunks(
     """Apply ``fn`` to every chunk of ``items``, in input order.
 
     ``workers == 0`` (or a single chunk) runs in-process with no
-    executor.  Pool start-up failures (restricted environments without
-    process spawning) fall back to the serial path instead of erroring —
+    executor.  Pool start-up failures fall back to the serial path —
     the data plane must never be less available than the eager loop it
-    replaced.
+    replaced — but task exceptions propagate (see :func:`_iter_chunks`).
     """
-    parts = chunked(items, chunk_size)
-    if not parts:
-        return []
-    if workers <= 0 or len(parts) == 1:
-        return [fn(part) for part in parts]
-
-    if executor not in ("thread", "process"):
-        raise ValueError(f"unknown executor {executor!r}")
-    pool_cls = (
-        ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-    )
-    try:
-        with pool_cls(max_workers=min(workers, len(parts))) as pool:
-            return list(pool.map(fn, parts))
-    except (OSError, PermissionError):  # pool unavailable -> serial fallback
-        return [fn(part) for part in parts]
+    return list(imap_chunks(fn, items, chunk_size, workers, executor))

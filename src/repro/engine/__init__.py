@@ -9,8 +9,19 @@ The production-shaped inference layer under the AL framework:
   (history recording, CLI progress, bench instrumentation).
 * the method registry — every Table II method reachable by name from
   the framework, CLI and bench harness alike.
+* :class:`RunCheckpoint` + atomic save/load — crash-safe snapshots of a
+  running Algorithm 2 loop with bit-identical resume (see
+  :mod:`repro.engine.checkpoint`).
 """
 
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    RunCheckpoint,
+    checkpoint_paths,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .events import (
     EVENT_KINDS,
     Event,
@@ -30,6 +41,12 @@ from .registry import (
 from .session import InferenceSession
 
 __all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "RunCheckpoint",
+    "checkpoint_paths",
+    "load_checkpoint",
+    "save_checkpoint",
     "EVENT_KINDS",
     "Event",
     "EventBus",

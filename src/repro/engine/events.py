@@ -27,6 +27,21 @@ Event kinds and their payloads:
     ``scanned, hits, false_alarms, litho_used, detect_seconds`` — after
     the full-chip scan of the remaining pool.
 
+Fault-tolerance events (see :mod:`repro.engine.checkpoint` and the
+retry layer in :mod:`repro.litho.labeler`):
+
+``checkpoint_saved``
+    ``iteration, path, checkpoint_seconds`` — after a run checkpoint
+    was written atomically to disk.
+``run_resumed``
+    ``iteration, path, pool_size, litho_used`` — once when a run
+    re-enters the AL loop from a checkpoint; ``iteration`` is the last
+    *completed* iteration the checkpoint captured.
+``simulation_retry``
+    ``chunk, retries, n_clips`` — one per labeling chunk that needed
+    transient-failure retries; ``retries`` is the attempt count beyond
+    the first for that chunk.
+
 Data-plane events (emitted by :mod:`repro.dataplane` and the batched
 labelers rather than the framework stages):
 
@@ -57,13 +72,16 @@ __all__ = [
 ]
 
 #: the five stage-transition events of one PSHD run (in emission order)
-#: plus the two data-plane events
+#: plus the fault-tolerance and data-plane events
 EVENT_KINDS = (
     "run_start",
     "iteration_start",
     "batch_selected",
     "model_updated",
     "detection_done",
+    "checkpoint_saved",
+    "run_resumed",
+    "simulation_retry",
     "features_extracted",
     "labels_computed",
 )
@@ -214,6 +232,24 @@ class ProgressPrinter:
                 f"detection: {payload['hits']} hits, "
                 f"{payload['false_alarms']} false alarms over "
                 f"{payload['scanned']} scanned clips"
+            )
+        elif event.kind == "checkpoint_saved":
+            line = (
+                f"  checkpoint: iteration {payload['iteration']} -> "
+                f"{payload['path']} "
+                f"({payload['checkpoint_seconds']:.2f}s)"
+            )
+        elif event.kind == "run_resumed":
+            line = (
+                f"resumed after iteration {payload['iteration']} from "
+                f"{payload['path']}: pool {payload['pool_size']}, "
+                f"litho-clips so far {payload['litho_used']}"
+            )
+        elif event.kind == "simulation_retry":
+            line = (
+                f"  litho retry: chunk {payload['chunk']} needed "
+                f"{payload['retries']} retries "
+                f"({payload['n_clips']} clips)"
             )
         elif event.kind == "features_extracted":
             line = (

@@ -5,6 +5,7 @@ as the expensive labeling oracle of the PSHD problem."""
 from .contour import cd_uniformity, contour_crossings, measure_cd
 from .drc import DRCRules, DRCViolation, check_clip, drc_screen
 from .epe import Defect, edge_placement_error, find_defects
+from .faults import FaultPlan, FlakySimulator, TransientSimulationError
 from .opc import OPCConfig, OPCResult, optimize_mask, print_error
 from .labeler import SECONDS_PER_LITHO_CLIP, LithoLabeler
 from .optics import OpticalModel, duv_model, euv_model
@@ -29,6 +30,9 @@ __all__ = [
     "LithoSimulator",
     "LithoLabeler",
     "SECONDS_PER_LITHO_CLIP",
+    "TransientSimulationError",
+    "FaultPlan",
+    "FlakySimulator",
     "ProcessWindow",
     "analyze_process_window",
     "DRCRules",

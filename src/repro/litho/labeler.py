@@ -14,6 +14,14 @@ placement, or which extraction pass produced them.  The batched
 :meth:`LithoLabeler.label_batch` path additionally dedupes a whole
 request before simulating and can fan simulation out over a
 ``concurrent.futures`` pool.
+
+Robustness: a simulator raising
+:class:`~repro.litho.faults.TransientSimulationError` is retried per
+clip with bounded exponential backoff, and verdicts are committed to
+the cache *per completed chunk* — a failure in chunk ``N`` never
+discards the already-paid-for verdicts of chunks ``0..N-1``, which is
+what makes long labeling campaigns resumable (see
+:mod:`repro.engine.checkpoint`).
 """
 
 from __future__ import annotations
@@ -21,9 +29,10 @@ from __future__ import annotations
 import time
 from functools import partial
 
-from ..dataplane.pool import map_chunks
+from ..dataplane.pool import chunked, imap_chunks
 from ..engine.events import EventBus
 from ..layout.clip import Clip
+from .faults import TransientSimulationError
 from .simulator import LithoSimulator
 
 __all__ = ["LithoLabeler"]
@@ -33,9 +42,50 @@ __all__ = ["LithoLabeler"]
 SECONDS_PER_LITHO_CLIP = 10.0
 
 
-def _simulate_chunk(clips: list[Clip], simulator: LithoSimulator) -> list[int]:
-    """Simulate one chunk (module-level so process pools can pickle it)."""
-    return [int(simulator.is_hotspot(clip)) for clip in clips]
+def _simulate_clip(
+    simulator: LithoSimulator,
+    clip: Clip,
+    max_retries: int,
+    base_delay: float,
+    max_delay: float,
+) -> tuple[int, int]:
+    """One verdict with bounded-backoff retry; returns ``(verdict,
+    retries_used)``.  Only :class:`TransientSimulationError` is retried;
+    anything else is a real bug and propagates immediately."""
+    attempt = 0
+    while True:
+        try:
+            return int(simulator.is_hotspot(clip)), attempt
+        except TransientSimulationError:
+            attempt += 1
+            if attempt > max_retries:
+                raise
+            delay = min(base_delay * 2.0 ** (attempt - 1), max_delay)
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _simulate_chunk(
+    clips: list[Clip],
+    simulator: LithoSimulator,
+    max_retries: int = 0,
+    base_delay: float = 0.0,
+    max_delay: float = 0.0,
+) -> tuple[list[int], int]:
+    """Simulate one chunk (module-level so process pools can pickle it).
+
+    Returns ``(verdicts, total_retries)``; retries happen per clip, so
+    a transient failure never re-simulates clips that already answered.
+    """
+    verdicts: list[int] = []
+    retries = 0
+    for clip in clips:
+        verdict, used = _simulate_clip(
+            simulator, clip, max_retries, base_delay, max_delay
+        )
+        verdicts.append(verdict)
+        retries += used
+    return verdicts, retries
 
 
 class LithoLabeler:
@@ -44,14 +94,33 @@ class LithoLabeler:
     ``label(clip)`` returns 1 for hotspot and 0 for non-hotspot, charging
     one litho-clip on first query of each distinct clip geometry.  An
     optional :class:`~repro.engine.events.EventBus` receives one
-    ``labels_computed`` event per :meth:`label_batch` request.
+    ``labels_computed`` event per :meth:`label_batch` request, plus one
+    ``simulation_retry`` event per chunk that needed transient-failure
+    retries.
+
+    ``max_retries`` bounds the per-clip retry budget for
+    :class:`~repro.litho.faults.TransientSimulationError`;
+    ``retry_base_delay`` doubles on each attempt up to
+    ``retry_max_delay`` seconds.
     """
 
     def __init__(
-        self, simulator: LithoSimulator, bus: EventBus | None = None
+        self,
+        simulator: LithoSimulator,
+        bus: EventBus | None = None,
+        max_retries: int = 2,
+        retry_base_delay: float = 0.1,
+        retry_max_delay: float = 2.0,
     ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_base_delay < 0 or retry_max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
         self.simulator = simulator
         self.bus = bus
+        self.max_retries = max_retries
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
         self._cache: dict[str, int] = {}
         self.query_count = 0
 
@@ -63,8 +132,15 @@ class LithoLabeler:
         """Hotspot verdict for ``clip`` (1 = hotspot), cached."""
         key = self._key(clip)
         if key not in self._cache:
+            verdict, _ = _simulate_clip(
+                self.simulator,
+                clip,
+                self.max_retries,
+                self.retry_base_delay,
+                self.retry_max_delay,
+            )
             self.query_count += 1
-            self._cache[key] = int(self.simulator.is_hotspot(clip))
+            self._cache[key] = verdict
         return self._cache[key]
 
     def label_many(self, clips) -> list[int]:
@@ -90,6 +166,11 @@ class LithoLabeler:
         served from the cache.  Charges ``query_count`` only for the
         simulated geometries, exactly like repeated :meth:`label` calls
         would.
+
+        Verdicts commit to the cache (and charge the meter) *per
+        completed chunk*: if chunk ``N`` fails, the verdicts of chunks
+        ``0..N-1`` survive and are free on the next request — mid-batch
+        failures never discard paid-for simulation work.
         """
         started = time.perf_counter()
         clips = list(clips)
@@ -101,17 +182,35 @@ class LithoLabeler:
                 pending[key] = clip
         n_cached = sum(1 for key in keys if key in self._cache)
 
-        verdict_chunks = map_chunks(
-            partial(_simulate_chunk, simulator=self.simulator),
+        key_chunks = chunked(list(pending), chunk_size)
+        results = imap_chunks(
+            partial(
+                _simulate_chunk,
+                simulator=self.simulator,
+                max_retries=self.max_retries,
+                base_delay=self.retry_base_delay,
+                max_delay=self.retry_max_delay,
+            ),
             list(pending.values()),
             chunk_size=chunk_size,
             workers=workers,
             executor=executor,
         )
-        verdicts = [v for chunk in verdict_chunks for v in chunk]
-        for key, verdict in zip(pending, verdicts):
-            self._cache[key] = verdict
-        self.query_count += len(pending)
+        total_retries = 0
+        for chunk_index, (chunk_keys, (verdicts, retries)) in enumerate(
+            zip(key_chunks, results)
+        ):
+            for key, verdict in zip(chunk_keys, verdicts):
+                self._cache[key] = int(verdict)
+            self.query_count += len(chunk_keys)
+            total_retries += retries
+            if retries and self.bus is not None:
+                self.bus.emit(
+                    "simulation_retry",
+                    chunk=chunk_index,
+                    retries=retries,
+                    n_clips=len(chunk_keys),
+                )
 
         if self.bus is not None:
             self.bus.emit(
@@ -120,6 +219,7 @@ class LithoLabeler:
                 cache_hits=n_cached,
                 cache_misses=len(pending),
                 deduped=len(clips) - n_cached - len(pending),
+                retries=total_retries,
                 simulated_seconds=len(pending) * SECONDS_PER_LITHO_CLIP,
                 label_seconds=time.perf_counter() - started,
             )
@@ -132,6 +232,25 @@ class LithoLabeler:
     def simulated_seconds(self) -> float:
         """Runtime-model cost of all litho queries so far."""
         return self.query_count * SECONDS_PER_LITHO_CLIP
+
+    # ------------------------------------------------------------------
+    # checkpoint persistence
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-serializable verdict cache + cost meter (for
+        :mod:`repro.engine.checkpoint`)."""
+        return {
+            "cache": {key: int(v) for key, v in self._cache.items()},
+            "query_count": int(self.query_count),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_state`."""
+        cache = {str(k): int(v) for k, v in state["cache"].items()}
+        if not all(v in (0, 1) for v in cache.values()):
+            raise ValueError("labeler cache verdicts must be 0/1")
+        self._cache = cache
+        self.query_count = int(state["query_count"])
 
     def reset(self) -> None:
         """Clear the cache and the cost meter."""

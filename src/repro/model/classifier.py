@@ -9,16 +9,21 @@ the L2-normalized FC-embedding features consumed by the diversity metric
 
 from __future__ import annotations
 
+import json
 from typing import NamedTuple
 
 import numpy as np
 
 from ..analysis.contracts import contract
 from ..nn import Adam, SoftmaxCrossEntropy, softmax
+from ..nn.optim import flatten_state, unflatten_state
 from .cnn import build_hotspot_cnn, build_hotspot_mlp
 from .scaler import TensorScaler
 
 __all__ = ["FullPrediction", "HotspotClassifier"]
+
+#: bump on incompatible changes to the save/load archive layout
+SAVE_FORMAT_VERSION = 2
 
 
 class FullPrediction(NamedTuple):
@@ -307,21 +312,119 @@ class HotspotClassifier:
         )
 
     # ------------------------------------------------------------------
+    # training-state access (checkpoint/resume support)
+    # ------------------------------------------------------------------
+    def optimizer_state_arrays(self) -> dict[str, np.ndarray]:
+        """Optimizer slot state as a flat ``str -> ndarray`` mapping
+        (npz-serializable; see :func:`repro.nn.optim.flatten_state`)."""
+        return flatten_state(self._optimizer.get_state())
+
+    def restore_optimizer_state(self, flat: dict) -> None:
+        """Inverse of :meth:`optimizer_state_arrays`."""
+        self._optimizer.set_state(unflatten_state(flat))
+
+    def shuffle_rng_state(self) -> dict:
+        """Bit state of the minibatch-shuffle RNG — part of a run
+        checkpoint so resumed training permutes batches identically."""
+        return self._shuffle_rng.bit_generator.state
+
+    def set_shuffle_rng_state(self, state: dict) -> None:
+        self._shuffle_rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def _archive_meta(self, temperature: float | None) -> dict:
+        return {
+            "format_version": SAVE_FORMAT_VERSION,
+            "arch": self.arch,
+            "input_shape": list(self.input_shape),
+            "optimizer": type(self._optimizer).__name__,
+            "temperature": temperature,
+        }
+
+    def save(self, path, temperature: float | None = None) -> None:
+        """Serialize the full trainable state to an ``.npz`` archive.
+
+        Besides weights and scaler statistics the archive carries the
+        optimizer slot state (so a loaded model continues training on
+        the same trajectory instead of silently restarting Adam with
+        cold moments) and, when given, the fitted temperature ``T``.
+        """
         self._check_fitted()
-        payload = self.network.get_weights()
-        payload["scaler.mean"] = self.scaler.mean_
-        payload["scaler.std"] = self.scaler.std_
+        payload = {
+            f"net/{key}": value
+            for key, value in self.network.get_weights().items()
+        }
+        payload.update(
+            {
+                f"optim/{key}": value
+                for key, value in self.optimizer_state_arrays().items()
+            }
+        )
+        payload["scaler/mean"] = self.scaler.mean_
+        payload["scaler/std"] = self.scaler.std_
+        payload["meta/json"] = np.array(
+            json.dumps(self._archive_meta(temperature))
+        )
         np.savez_compressed(path, **payload)
 
-    def load(self, path) -> None:
+    def load(self, path) -> float | None:
+        """Restore state saved by :meth:`save`; returns the stored
+        temperature (``None`` when the archive carries none).
+
+        Fails loudly with :class:`ValueError` describing the schema or
+        architecture mismatch — never a raw ``KeyError`` from a weight
+        dict — so a wrong-architecture restore is diagnosable.
+        """
         with np.load(path) as archive:
-            weights = {k: archive[k] for k in archive.files
-                       if not k.startswith("scaler.")}
-            self.network.set_weights(weights)
-            self.scaler.mean_ = archive["scaler.mean"]
-            self.scaler.std_ = archive["scaler.std"]
+            files = set(archive.files)
+            if "meta/json" not in files:
+                raise ValueError(
+                    f"{path} is not a classifier archive (no 'meta/json' "
+                    "entry; re-save with HotspotClassifier.save)"
+                )
+            meta = json.loads(str(archive["meta/json"]))
+            if meta.get("format_version") != SAVE_FORMAT_VERSION:
+                raise ValueError(
+                    f"archive format {meta.get('format_version')!r} != "
+                    f"supported {SAVE_FORMAT_VERSION}"
+                )
+            if meta["arch"] != self.arch or tuple(
+                meta["input_shape"]
+            ) != self.input_shape:
+                raise ValueError(
+                    "architecture mismatch: archive holds "
+                    f"arch={meta['arch']!r} input_shape="
+                    f"{tuple(meta['input_shape'])}, classifier is "
+                    f"arch={self.arch!r} input_shape={self.input_shape}"
+                )
+            if meta["optimizer"] != type(self._optimizer).__name__:
+                raise ValueError(
+                    f"optimizer mismatch: archive holds "
+                    f"{meta['optimizer']} state, classifier uses "
+                    f"{type(self._optimizer).__name__}"
+                )
+            weights = {
+                key[len("net/"):]: archive[key]
+                for key in files
+                if key.startswith("net/")
+            }
+            optim = {
+                key[len("optim/"):]: archive[key]
+                for key in files
+                if key.startswith("optim/")
+            }
+            try:
+                self.network.set_weights(weights)
+            except (KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"archive does not match the {self.arch!r} network "
+                    f"(spec {self.network.weights_spec()}): {exc}"
+                ) from exc
+            self.restore_optimizer_state(optim)
+            self.scaler.mean_ = archive["scaler/mean"]
+            self.scaler.std_ = archive["scaler/std"]
         self.scaler_version += 1
         self._fitted = True
+        return meta["temperature"]

@@ -100,6 +100,18 @@ class Sequential:
         """Total number of trainable scalars."""
         return sum(p.size for _, p, _ in self.param_groups())
 
+    def weights_spec(self) -> dict[str, tuple[int, ...]]:
+        """``{weight key: shape}`` for every parameter and buffer —
+        the schema a :meth:`set_weights` payload must satisfy (used in
+        checkpoint-mismatch diagnostics)."""
+        spec: dict[str, tuple[int, ...]] = {}
+        for i, layer in enumerate(self.layers):
+            for name, param in layer.params().items():
+                spec[f"{i}.{name}"] = tuple(param.shape)
+            for name, buf in layer.state().items():
+                spec[f"{i}.state.{name}"] = tuple(buf.shape)
+        return spec
+
     def get_weights(self) -> dict[str, np.ndarray]:
         """Copy all parameters and buffers into a flat dict."""
         out: dict[str, np.ndarray] = {}

@@ -3,13 +3,74 @@
 Optimizers hold per-parameter slot state keyed by ``(layer index, name)``
 and update parameter arrays **in place**, so the network's layers always
 see the latest weights without re-wiring references.
+
+Slot state is serializable: :meth:`Optimizer.get_state` /
+:meth:`Optimizer.set_state` round-trip the moment buffers (Momentum's
+velocity, Adam's first/second moments and per-slot step counts), and
+:func:`flatten_state` / :func:`unflatten_state` convert between the
+nested slot-keyed form and a flat ``str -> ndarray`` mapping suitable
+for ``.npz`` archives.  Restoring a checkpointed model without this
+state would silently restart Adam with cold moments and wrong bias
+correction — training would continue, but not on the same trajectory.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Optimizer", "SGD", "Momentum", "Adam"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "encode_slot_key",
+    "decode_slot_key",
+    "flatten_state",
+    "unflatten_state",
+]
+
+
+def encode_slot_key(key) -> str:
+    """Canonical string form of a slot key (``(0, "W")`` -> ``"0.W"``)."""
+    if isinstance(key, tuple):
+        return ".".join(str(part) for part in key)
+    return str(key)
+
+
+def decode_slot_key(text: str):
+    """Inverse of :func:`encode_slot_key` for the ``(layer, name)``
+    convention of :meth:`repro.nn.network.Sequential.param_groups`; a
+    string with no integer prefix decodes to a 1-tuple."""
+    head, sep, tail = text.partition(".")
+    if sep:
+        try:
+            return (int(head), tail)
+        except ValueError:
+            return (head, tail)
+    return (text,)
+
+
+def flatten_state(state: dict) -> dict[str, np.ndarray]:
+    """Flatten nested ``{slot_name: {key: value}}`` optimizer state into
+    ``{"slot_name/encoded_key": ndarray}`` (scalars become 0-d arrays)."""
+    flat: dict[str, np.ndarray] = {}
+    for slot_name, slots in state.items():
+        for key, value in slots.items():
+            flat[f"{slot_name}/{encode_slot_key(key)}"] = np.asarray(value)
+    return flat
+
+
+def unflatten_state(flat: dict) -> dict:
+    """Inverse of :func:`flatten_state`."""
+    state: dict = {}
+    for joint_key, value in flat.items():
+        slot_name, sep, encoded = joint_key.partition("/")
+        if not sep:
+            raise ValueError(f"malformed optimizer state key {joint_key!r}")
+        state.setdefault(slot_name, {})[decode_slot_key(encoded)] = (
+            np.asarray(value)
+        )
+    return state
 
 
 class Optimizer:
@@ -33,6 +94,21 @@ class Optimizer:
 
     def _update(self, key, param: np.ndarray, grad: np.ndarray) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # slot-state serialization
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Copy of the per-slot moment state (empty when stateless)."""
+        return {}
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_state`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but got state slots "
+                f"{sorted(state)}"
+            )
 
 
 class SGD(Optimizer):
@@ -61,6 +137,18 @@ class Momentum(Optimizer):
         v = self.momentum * v - self.lr * grad
         self._velocity[key] = v
         param += v
+
+    def get_state(self) -> dict:
+        return {"velocity": {k: v.copy() for k, v in self._velocity.items()}}
+
+    def set_state(self, state: dict) -> None:
+        extra = set(state) - {"velocity"}
+        if extra:
+            raise ValueError(f"unknown Momentum state slots {sorted(extra)}")
+        self._velocity = {
+            k: np.array(v, dtype=np.float64)
+            for k, v in state.get("velocity", {}).items()
+        }
 
 
 class Adam(Optimizer):
@@ -102,3 +190,25 @@ class Adam(Optimizer):
         m_hat = m / (1 - self.beta1**t)
         v_hat = v / (1 - self.beta2**t)
         param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def get_state(self) -> dict:
+        return {
+            "m": {k: v.copy() for k, v in self._m.items()},
+            "v": {k: v.copy() for k, v in self._v.items()},
+            "t": dict(self._t),
+        }
+
+    def set_state(self, state: dict) -> None:
+        extra = set(state) - {"m", "v", "t"}
+        if extra:
+            raise ValueError(f"unknown Adam state slots {sorted(extra)}")
+        m = state.get("m", {})
+        v = state.get("v", {})
+        t = state.get("t", {})
+        if not (set(m) == set(v) == set(t)):
+            raise ValueError(
+                "inconsistent Adam state: m/v/t slot keys differ"
+            )
+        self._m = {k: np.array(x, dtype=np.float64) for k, x in m.items()}
+        self._v = {k: np.array(x, dtype=np.float64) for k, x in v.items()}
+        self._t = {k: int(x) for k, x in t.items()}

@@ -92,6 +92,33 @@ class TestDetect:
         assert detect_main([str(path)]) == 2
         assert "clips" in capsys.readouterr().err
 
+    def test_checkpoint_and_resume(self, small_glp, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        common = [
+            small_glp, "--iterations", "2", "--batch", "10",
+            "--init-train", "20", "--val-size", "16", "--seed", "0",
+            "--checkpoint-dir", str(ckpt_dir),
+        ]
+        assert detect_main(common) == 0
+        capsys.readouterr()
+        assert (ckpt_dir / "checkpoint_iter0001.json").exists()
+        assert (ckpt_dir / "checkpoint_iter0001.npz").exists()
+
+        code = detect_main(
+            common + ["--resume", str(ckpt_dir / "checkpoint_iter0001")]
+        )
+        assert code == 0
+        assert "detection accuracy" in capsys.readouterr().out
+
+    def test_resume_missing_checkpoint(self, small_glp, tmp_path, capsys):
+        code = detect_main(
+            [small_glp, "--iterations", "2", "--batch", "10",
+             "--init-train", "20", "--val-size", "16",
+             "--resume", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
 
 class TestBenchmark:
     def test_builds_named_case(self, tmp_path, monkeypatch, capsys):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dataplane import chunked, map_chunks
+from repro.dataplane import chunked, imap_chunks, map_chunks
 
 
 def _total(chunk):
@@ -56,3 +56,85 @@ class TestMapChunks:
         with pytest.raises(ValueError, match="executor"):
             map_chunks(_total, list(range(8)), chunk_size=2, workers=2,
                        executor="fiber")
+
+
+_CALL_LOG: list[tuple[int, ...]] = []
+
+
+def _record_then_fail(chunk):
+    _CALL_LOG.append(tuple(chunk))
+    if chunk[0] >= 4:
+        raise OSError("disk gone")
+    return sum(chunk)
+
+
+class TestTaskExceptionPropagation:
+    """Regression: task-raised OSError must propagate, never trigger the
+    serial fallback (which would silently re-run every chunk)."""
+
+    @pytest.mark.parametrize("executor", ["thread"])
+    def test_task_oserror_propagates(self, executor):
+        _CALL_LOG.clear()
+        with pytest.raises(OSError, match="disk gone"):
+            map_chunks(
+                _record_then_fail,
+                list(range(8)),
+                chunk_size=2,
+                workers=2,
+                executor=executor,
+            )
+
+    def test_chunks_not_rerun_after_task_failure(self):
+        _CALL_LOG.clear()
+        with pytest.raises(OSError):
+            map_chunks(
+                _record_then_fail,
+                list(range(8)),
+                chunk_size=2,
+                workers=2,
+                executor="thread",
+            )
+        # the old fallback re-ran every chunk serially after the failure,
+        # doubling side effects; each chunk must now run at most once
+        assert len(_CALL_LOG) == len(set(_CALL_LOG))
+
+    def test_serial_task_oserror_propagates(self):
+        with pytest.raises(OSError, match="disk gone"):
+            map_chunks(_record_then_fail, list(range(8)), chunk_size=2)
+
+
+class TestImapChunks:
+    def test_is_lazy_generator(self):
+        calls = []
+
+        def spy(chunk):
+            calls.append(tuple(chunk))
+            return sum(chunk)
+
+        it = imap_chunks(spy, list(range(6)), chunk_size=2)
+        assert calls == []  # nothing runs until consumed
+        assert next(it) == 1
+        assert calls == [(0, 1)]
+        assert list(it) == [5, 9]
+
+    def test_partial_results_before_failure(self):
+        """Chunks before the failing one are yielded, so callers can
+        commit partial progress (the litho labeler relies on this)."""
+        done = []
+
+        def fragile(chunk):
+            if chunk[0] >= 4:
+                raise OSError("disk gone")
+            return sum(chunk)
+
+        it = imap_chunks(fragile, list(range(8)), chunk_size=2)
+        with pytest.raises(OSError):
+            for result in it:
+                done.append(result)
+        assert done == [1, 5]
+
+    def test_matches_map_chunks(self):
+        items = list(range(20))
+        assert list(imap_chunks(_total, items, chunk_size=4, workers=3)) == (
+            map_chunks(_total, items, chunk_size=4)
+        )

@@ -1,0 +1,153 @@
+"""Tests for the checkpoint payload and its atomic .npz/JSON I/O."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    RunCheckpoint,
+    checkpoint_paths,
+    load_checkpoint,
+    posterior_array,
+    save_checkpoint,
+    scaler_arrays,
+)
+
+
+def sample_checkpoint():
+    rng = np.random.default_rng(7)
+    return RunCheckpoint(
+        schema={"benchmark": "iccad16_3", "seed": 0, "arch": "cnn"},
+        iteration=2,
+        rng_state=rng.bit_generator.state,
+        shuffle_rng_state=np.random.default_rng(1).bit_generator.state,
+        temperature=1.25,
+        index_sets={
+            "train_idx": [0, 3, 5],
+            "y_train": [1, 0, 1],
+            "val_idx": [7],
+            "y_val": [0],
+            "pool": [2, 4, 6],
+            "discarded": [],
+            "batch_hotspot_trace": [2, 1],
+            "iterations_run": 2,
+        },
+        labeler_state={"cache": {"0": 1, "3": 0}, "query_count": 2},
+        history=[{"iteration": 1, "accuracy": 0.5}],
+        arrays={
+            "net/0.W": rng.normal(size=(4, 3)),
+            "state/posterior": rng.random(8),
+            **scaler_arrays(np.zeros((1, 2, 2)), np.ones((1, 2, 2))),
+        },
+    )
+
+
+class TestCheckpointPaths:
+    @pytest.mark.parametrize("suffix", ["", ".npz", ".json"])
+    def test_all_spellings_name_the_same_pair(self, tmp_path, suffix):
+        npz, manifest = checkpoint_paths(tmp_path / f"run7{suffix}")
+        assert npz == tmp_path / "run7.npz"
+        assert manifest == tmp_path / "run7.json"
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        original = sample_checkpoint()
+        manifest_path = save_checkpoint(original, tmp_path / "ckpt")
+        assert manifest_path == tmp_path / "ckpt.json"
+
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        assert loaded.version == CHECKPOINT_VERSION
+        assert loaded.schema == original.schema
+        assert loaded.iteration == original.iteration
+        assert loaded.rng_state == original.rng_state
+        assert loaded.shuffle_rng_state == original.shuffle_rng_state
+        assert loaded.temperature == original.temperature
+        assert loaded.index_sets == original.index_sets
+        assert loaded.labeler_state == original.labeler_state
+        assert loaded.history == original.history
+        assert sorted(loaded.arrays) == sorted(original.arrays)
+        for key, value in original.arrays.items():
+            np.testing.assert_array_equal(loaded.arrays[key], value)
+
+    def test_save_creates_directories(self, tmp_path):
+        save_checkpoint(sample_checkpoint(), tmp_path / "a" / "b" / "ckpt")
+        assert (tmp_path / "a" / "b" / "ckpt.json").exists()
+
+    def test_no_tmp_leftovers(self, tmp_path):
+        save_checkpoint(sample_checkpoint(), tmp_path / "ckpt")
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_manifest_is_plain_json(self, tmp_path):
+        """The manifest must survive a strict json round trip (no numpy
+        scalars leaking through)."""
+        ckpt = sample_checkpoint()
+        ckpt.index_sets["train_idx"] = [np.int64(0), np.int64(3)]
+        ckpt.temperature = np.float64(1.5)
+        manifest_path = save_checkpoint(ckpt, tmp_path / "ckpt")
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["index_sets"]["train_idx"] == [0, 3]
+        assert manifest["temperature"] == 1.5
+
+    def test_rejects_non_array_payload(self, tmp_path):
+        ckpt = sample_checkpoint()
+        ckpt.arrays["net/bad"] = [1, 2, 3]
+        with pytest.raises(CheckpointError, match="not ndarray"):
+            save_checkpoint(ckpt, tmp_path / "ckpt")
+
+
+class TestLoadFailsLoudly:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_missing_archive(self, tmp_path):
+        save_checkpoint(sample_checkpoint(), tmp_path / "ckpt")
+        (tmp_path / "ckpt.npz").unlink()
+        with pytest.raises(CheckpointError, match="archive"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_corrupt_manifest_json(self, tmp_path):
+        save_checkpoint(sample_checkpoint(), tmp_path / "ckpt")
+        (tmp_path / "ckpt.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_manifest_missing_fields(self, tmp_path):
+        path = save_checkpoint(sample_checkpoint(), tmp_path / "ckpt")
+        manifest = json.loads(path.read_text())
+        del manifest["rng_state"]
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="rng_state"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_version_mismatch(self, tmp_path):
+        path = save_checkpoint(sample_checkpoint(), tmp_path / "ckpt")
+        manifest = json.loads(path.read_text())
+        manifest["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_archive_manifest_key_disagreement(self, tmp_path):
+        save_checkpoint(sample_checkpoint(), tmp_path / "ckpt")
+        with np.load(tmp_path / "ckpt.npz") as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        del arrays["net/0.W"]
+        np.savez_compressed(tmp_path / "ckpt.npz", **arrays)
+        with pytest.raises(CheckpointError, match="does not match"):
+            load_checkpoint(tmp_path / "ckpt")
+
+
+class TestContractedBoundaries:
+    def test_posterior_array_coerces(self):
+        out = posterior_array(np.arange(4, dtype=np.float64))
+        assert out.dtype == np.float64
+
+    def test_scaler_arrays_keys(self):
+        out = scaler_arrays(np.zeros((2, 3, 3)), np.ones((2, 3, 3)))
+        assert set(out) == {"scaler/mean", "scaler/std"}

@@ -1,0 +1,155 @@
+"""Fault injection: transient-failure retry and per-chunk verdict commits."""
+
+import pytest
+
+from repro.engine.events import EventBus, EventLog
+from repro.layout import Clip, Rect
+from repro.litho import (
+    FaultPlan,
+    FlakySimulator,
+    LithoLabeler,
+    TransientSimulationError,
+)
+
+
+def make_clips(n, size=1200, margin=300):
+    """``n`` clips with distinct geometry (distinct content keys)."""
+    window = Rect(0, 0, size, size)
+    return [
+        Clip(
+            window,
+            window.expanded(-margin),
+            rects=[Rect(100, 400 + 10 * i, 1100, 600 + 10 * i)],
+            index=i,
+        )
+        for i in range(n)
+    ]
+
+
+class CountingSimulator:
+    """Deterministic stand-in oracle: verdict = parity of the clip index."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def is_hotspot(self, clip):
+        self.calls += 1
+        return clip.index % 2 == 1
+
+
+def flaky_labeler(plan, bus=None, **kwargs):
+    kwargs.setdefault("max_retries", 2)
+    kwargs.setdefault("retry_base_delay", 0.0)
+    return LithoLabeler(
+        FlakySimulator(CountingSimulator(), plan), bus=bus, **kwargs
+    )
+
+
+class TestFaultPlan:
+    def test_fail_first(self):
+        plan = FaultPlan.fail_first(2)
+        assert plan.should_fail(0) and plan.should_fail(1)
+        assert not plan.should_fail(2)
+
+    def test_at(self):
+        plan = FaultPlan.at(3, 5)
+        assert plan.should_fail(3) and plan.should_fail(5)
+        assert not plan.should_fail(4)
+
+
+class TestFlakySimulator:
+    def test_counts_calls_and_faults(self):
+        sim = FlakySimulator(CountingSimulator(), FaultPlan.fail_first(1))
+        [clip] = make_clips(1)
+        with pytest.raises(TransientSimulationError):
+            sim.is_hotspot(clip)
+        assert sim.is_hotspot(clip) == (clip.index % 2 == 1)
+        assert sim.calls == 2
+        assert sim.faults == 1
+
+
+class TestLabelerRetry:
+    def test_retries_recover_and_match_clean_run(self):
+        clips = make_clips(6)
+        clean = LithoLabeler(CountingSimulator())
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        flaky = flaky_labeler(FaultPlan.fail_first(2), bus=bus)
+
+        assert flaky.label_batch(clips, chunk_size=2) == (
+            clean.label_batch(clips, chunk_size=2)
+        )
+        assert flaky.query_count == clean.query_count == 6
+        # both injected faults were retried and reported on the bus
+        retry_events = log.of_kind("simulation_retry")
+        assert sum(e.payload["retries"] for e in retry_events) == 2
+        [computed] = log.of_kind("labels_computed")
+        assert computed.payload["retries"] == 2
+
+    def test_exhausted_retries_keep_completed_chunks(self):
+        """Chunk 0 answers; chunk 1 hits a 3-failure streak that exceeds
+        max_retries=2.  The error propagates, but chunk 0's verdicts are
+        committed and charged — resumable labeling."""
+        clips = make_clips(4)
+        labeler = flaky_labeler(FaultPlan.at(2, 3, 4))
+        with pytest.raises(TransientSimulationError):
+            labeler.label_batch(clips, chunk_size=2)
+        assert labeler.query_count == 2
+        assert labeler.is_cached(clips[0]) and labeler.is_cached(clips[1])
+        assert not labeler.is_cached(clips[2])
+
+        # a retry of the request pays only for the missing chunk
+        verdicts = labeler.label_batch(clips, chunk_size=2)
+        assert labeler.query_count == 4
+        assert verdicts == [i % 2 for i in range(4)]
+
+    def test_single_label_retries(self):
+        [clip] = make_clips(1)
+        labeler = flaky_labeler(FaultPlan.fail_first(2))
+        assert labeler.label(clip) == 0
+        assert labeler.query_count == 1
+
+    def test_zero_retry_budget_propagates_immediately(self):
+        [clip] = make_clips(1)
+        labeler = flaky_labeler(FaultPlan.fail_first(1), max_retries=0)
+        with pytest.raises(TransientSimulationError):
+            labeler.label(clip)
+
+    def test_non_transient_errors_not_retried(self):
+        class BrokenSimulator:
+            def is_hotspot(self, clip):
+                raise RuntimeError("permanent")
+
+        [clip] = make_clips(1)
+        labeler = LithoLabeler(
+            BrokenSimulator(), max_retries=5, retry_base_delay=0.0
+        )
+        with pytest.raises(RuntimeError, match="permanent"):
+            labeler.label(clip)
+
+    def test_rejects_negative_retry_config(self):
+        sim = CountingSimulator()
+        with pytest.raises(ValueError, match="max_retries"):
+            LithoLabeler(sim, max_retries=-1)
+        with pytest.raises(ValueError, match="delay"):
+            LithoLabeler(sim, retry_base_delay=-0.1)
+
+
+class TestLabelerState:
+    def test_get_set_state_roundtrip(self):
+        clips = make_clips(3)
+        source = LithoLabeler(CountingSimulator())
+        source.label_batch(clips)
+        state = source.get_state()
+
+        target = LithoLabeler(CountingSimulator())
+        target.set_state(state)
+        assert target.query_count == source.query_count
+        # every verdict is served from cache: the inner oracle is idle
+        assert target.label_batch(clips) == [0, 1, 0]
+        assert target.simulator.calls == 0
+
+    def test_set_state_rejects_bad_verdicts(self):
+        labeler = LithoLabeler(CountingSimulator())
+        with pytest.raises(ValueError, match="0/1"):
+            labeler.set_state({"cache": {"k": 7}, "query_count": 1})

@@ -192,49 +192,129 @@ class TestHotspotClassifier:
         clf.fit_scaler(x + 1.0)
         assert clf.scaler_version == 2
 
-    def test_load_rejects_missing_weight(self, tmp_path):
-        rng = np.random.default_rng(18)
+    @staticmethod
+    def _tampered(path, tmp_path, mutate):
+        """Re-write the archive at ``path`` with ``mutate(payload)``."""
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        mutate(payload)
+        broken = tmp_path / "broken.npz"
+        np.savez_compressed(broken, **payload)
+        return broken
+
+    def _fitted_clf(self, seed, tmp_path):
+        rng = np.random.default_rng(seed)
         x, y = synthetic_problem(rng)
         clf = self._clf()
         clf.fit(x, y, epochs=1)
-        payload = clf.network.get_weights()
-        payload["scaler.mean"] = clf.scaler.mean_
-        payload["scaler.std"] = clf.scaler.std_
-        first_key = next(k for k in payload if not k.startswith("scaler."))
-        del payload[first_key]
-        path = tmp_path / "broken.npz"
-        np.savez_compressed(path, **payload)
-        with pytest.raises(KeyError, match="missing"):
-            clf.clone_untrained().load(path)
+        path = tmp_path / "model.npz"
+        clf.save(path)
+        return clf, path
+
+    def test_load_rejects_missing_weight(self, tmp_path):
+        clf, path = self._fitted_clf(18, tmp_path)
+
+        def drop_first_weight(payload):
+            first = next(k for k in payload if k.startswith("net/"))
+            del payload[first]
+
+        broken = self._tampered(path, tmp_path, drop_first_weight)
+        with pytest.raises(ValueError, match="does not match"):
+            clf.clone_untrained().load(broken)
 
     def test_load_rejects_shape_mismatch(self, tmp_path):
-        rng = np.random.default_rng(19)
-        x, y = synthetic_problem(rng)
-        clf = self._clf()
-        clf.fit(x, y, epochs=1)
-        payload = clf.network.get_weights()
-        payload["scaler.mean"] = clf.scaler.mean_
-        payload["scaler.std"] = clf.scaler.std_
-        first_key = next(k for k in payload if not k.startswith("scaler."))
-        payload[first_key] = np.zeros((3, 3, 3))
-        path = tmp_path / "broken.npz"
-        np.savez_compressed(path, **payload)
+        clf, path = self._fitted_clf(19, tmp_path)
+
+        def reshape_first_weight(payload):
+            first = next(k for k in payload if k.startswith("net/"))
+            payload[first] = np.zeros((3, 3, 3))
+
+        broken = self._tampered(path, tmp_path, reshape_first_weight)
         with pytest.raises(ValueError, match="shape mismatch"):
-            clf.clone_untrained().load(path)
+            clf.clone_untrained().load(broken)
 
     def test_load_rejects_unused_extras(self, tmp_path):
-        rng = np.random.default_rng(20)
+        clf, path = self._fitted_clf(20, tmp_path)
+
+        def add_surprise(payload):
+            payload["net/999.surprise"] = np.zeros(2)
+
+        broken = self._tampered(path, tmp_path, add_surprise)
+        with pytest.raises(ValueError, match="unused"):
+            clf.clone_untrained().load(broken)
+
+    def test_load_rejects_legacy_archive(self, tmp_path):
+        """A raw weight dump without metadata must fail loudly, not with
+        a KeyError from deep inside the weight dict."""
+        rng = np.random.default_rng(28)
         x, y = synthetic_problem(rng)
         clf = self._clf()
         clf.fit(x, y, epochs=1)
-        payload = clf.network.get_weights()
-        payload["scaler.mean"] = clf.scaler.mean_
-        payload["scaler.std"] = clf.scaler.std_
-        payload["999.surprise"] = np.zeros(2)
-        path = tmp_path / "broken.npz"
-        np.savez_compressed(path, **payload)
-        with pytest.raises(KeyError, match="unused"):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, **clf.network.get_weights())
+        with pytest.raises(ValueError, match="meta/json"):
             clf.clone_untrained().load(path)
+
+    def test_load_rejects_architecture_mismatch(self, tmp_path):
+        """Loading a CNN archive into an MLP names both architectures."""
+        rng = np.random.default_rng(29)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y, epochs=1)
+        path = tmp_path / "mlp.npz"
+        clf.save(path)
+        other = HotspotClassifier(input_shape=(4, 8, 8), arch="cnn")
+        with pytest.raises(ValueError, match="architecture mismatch"):
+            other.load(path)
+
+    def test_save_load_roundtrips_temperature(self, tmp_path):
+        rng = np.random.default_rng(30)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y, epochs=1)
+        path = tmp_path / "model.npz"
+        clf.save(path, temperature=1.375)
+        clone = clf.clone_untrained()
+        assert clone.load(path) == 1.375
+        # an archive saved without a temperature returns None
+        clf.save(path)
+        assert clf.clone_untrained().load(path) is None
+
+    def test_save_load_roundtrips_optimizer_state(self, tmp_path):
+        """Adam's moments and step counts are part of the archive."""
+        rng = np.random.default_rng(31)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y, epochs=3)
+        path = tmp_path / "model.npz"
+        clf.save(path)
+
+        clone = clf.clone_untrained()
+        clone.load(path)
+        original = clf.optimizer_state_arrays()
+        restored = clone.optimizer_state_arrays()
+        assert restored.keys() == original.keys()
+        for key, value in original.items():
+            np.testing.assert_array_equal(value, restored[key], err_msg=key)
+
+    def test_continued_training_bit_identical_after_load(self, tmp_path):
+        rng = np.random.default_rng(32)
+        x, y = synthetic_problem(rng)
+        clf = self._clf()
+        clf.fit(x, y, epochs=3)
+        path = tmp_path / "model.npz"
+        clf.save(path)
+
+        clone = clf.clone_untrained()
+        clone.load(path)
+        clone.set_shuffle_rng_state(clf.shuffle_rng_state())
+
+        clf.fit(x, y, epochs=2)
+        clone.fit(x, y, epochs=2)
+        for key, value in clf.network.get_weights().items():
+            np.testing.assert_array_equal(
+                value, clone.network.get_weights()[key], err_msg=key
+            )
 
     def test_predict_full_matches_two_pass(self):
         """Single tapped pass == separate logits + embeddings calls."""

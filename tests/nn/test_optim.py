@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.nn.optim import SGD, Adam, Momentum
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    Momentum,
+    decode_slot_key,
+    encode_slot_key,
+    flatten_state,
+    unflatten_state,
+)
 
 
 def quadratic_groups(param):
@@ -92,3 +100,99 @@ class TestAdam:
             Adam(beta1=1.0)
         with pytest.raises(ValueError):
             Adam(beta2=-0.1)
+
+
+class TestOptimizerState:
+    def test_sgd_is_stateless(self):
+        opt = SGD(lr=0.1)
+        param = np.array([0.0])
+        opt.step([(("p",), param, np.array([1.0]))])
+        assert opt.get_state() == {}
+        opt.set_state({})  # no-op
+        with pytest.raises(ValueError):
+            opt.set_state({"velocity": {("p",): np.zeros(1)}})
+
+    def test_momentum_roundtrip_resumes_trajectory(self):
+        param_a = np.zeros(3)
+        opt_a = Momentum(lr=0.05, momentum=0.9)
+        for _ in range(10):
+            opt_a.step(quadratic_groups(param_a))
+        snapshot_param = param_a.copy()
+        snapshot_state = opt_a.get_state()
+
+        # diverge, then restore and replay: must match the uninterrupted run
+        for _ in range(5):
+            opt_a.step(quadratic_groups(param_a))
+        reference = param_a.copy()
+
+        param_b = snapshot_param.copy()
+        opt_b = Momentum(lr=0.05, momentum=0.9)
+        opt_b.set_state(snapshot_state)
+        for _ in range(5):
+            opt_b.step(quadratic_groups(param_b))
+        np.testing.assert_array_equal(param_b, reference)
+
+    def test_adam_roundtrip_resumes_trajectory(self):
+        param_a = np.zeros(3)
+        opt_a = Adam(lr=0.1)
+        for _ in range(10):
+            opt_a.step(quadratic_groups(param_a))
+        snapshot_param = param_a.copy()
+        snapshot_state = opt_a.get_state()
+        for _ in range(5):
+            opt_a.step(quadratic_groups(param_a))
+        reference = param_a.copy()
+
+        param_b = snapshot_param.copy()
+        opt_b = Adam(lr=0.1)
+        opt_b.set_state(snapshot_state)
+        for _ in range(5):
+            opt_b.step(quadratic_groups(param_b))
+        np.testing.assert_array_equal(param_b, reference)
+
+    def test_adam_state_snapshot_is_independent(self):
+        """get_state copies buffers; later steps must not mutate it."""
+        param = np.zeros(1)
+        opt = Adam(lr=0.1)
+        opt.step(quadratic_groups(param))
+        state = opt.get_state()
+        frozen_m = state["m"][("p",)].copy()
+        opt.step(quadratic_groups(param))
+        np.testing.assert_array_equal(state["m"][("p",)], frozen_m)
+
+    def test_adam_rejects_inconsistent_slots(self):
+        opt = Adam(lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_state(
+                {"m": {("p",): np.zeros(1)}, "v": {}, "t": {("p",): 1}}
+            )
+
+    def test_momentum_rejects_unknown_slot_names(self):
+        opt = Momentum(lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_state({"m": {("p",): np.zeros(1)}})
+
+
+class TestStateFlattening:
+    def test_roundtrip(self):
+        state = {
+            "m": {(0, "W"): np.arange(4.0), (2, "b"): np.zeros(2)},
+            "t": {(0, "W"): 7, (2, "b"): 3},
+        }
+        flat = flatten_state(state)
+        assert set(flat) == {"m/0.W", "m/2.b", "t/0.W", "t/2.b"}
+        back = unflatten_state(flat)
+        assert set(back) == {"m", "t"}
+        np.testing.assert_array_equal(back["m"][(0, "W")], np.arange(4.0))
+        assert int(back["t"][(2, "b")]) == 3
+
+    def test_slot_key_codec(self):
+        assert encode_slot_key((0, "W")) == "0.W"
+        assert decode_slot_key("0.W") == (0, "W")
+        assert decode_slot_key("p") == ("p",)
+        # names containing dots survive: only the first dot splits
+        assert decode_slot_key("3.state.mean") == (3, "state.mean")
+
+    def test_unflatten_rejects_malformed_key(self):
+        with pytest.raises(ValueError):
+            unflatten_state({"no-slash": np.zeros(1)})
