@@ -7,12 +7,19 @@ from .reliability import (
     max_calibration_error,
     reliability_diagram,
 )
-from .temperature import TemperatureScaler, fit_temperature, nll, scaled_softmax
+from .temperature import (
+    TemperatureFitResult,
+    TemperatureScaler,
+    fit_temperature,
+    nll,
+    scaled_softmax,
+)
 
 __all__ = [
     "scaled_softmax",
     "nll",
     "fit_temperature",
+    "TemperatureFitResult",
     "TemperatureScaler",
     "ReliabilityDiagram",
     "reliability_diagram",

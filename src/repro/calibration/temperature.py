@@ -9,13 +9,31 @@ toward the true correctness likelihood.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 from scipy.optimize import minimize_scalar
 
 from ..analysis.contracts import contract
 from ..nn.losses import log_softmax, softmax
 
-__all__ = ["scaled_softmax", "nll", "fit_temperature", "TemperatureScaler"]
+__all__ = [
+    "scaled_softmax",
+    "nll",
+    "fit_temperature",
+    "TemperatureFitResult",
+    "TemperatureScaler",
+]
+
+
+class TemperatureFitResult(NamedTuple):
+    """Outcome of one temperature fit (``full_output=True``)."""
+
+    #: the fitted temperature, clamped into the requested bounds
+    temperature: float
+    #: whether the bounded optimizer reported convergence and the
+    #: result is finite — the run supervisor consults this flag
+    converged: bool
 
 
 @contract(logits="f[N,K]", returns="f8[N,K]")
@@ -41,11 +59,17 @@ def fit_temperature(
     logits: np.ndarray,
     labels: np.ndarray,
     bounds: tuple[float, float] = (0.05, 20.0),
-) -> float:
+    full_output: bool = False,
+) -> float | TemperatureFitResult:
     """Optimal temperature by NLL minimization on validation data.
 
     Uses bounded scalar minimization in log-space (the NLL is smooth and
-    unimodal in ``log T`` for fixed logits).
+    unimodal in ``log T`` for fixed logits).  Non-finite logits are
+    rejected up front, and the fitted ``T`` is clamped into ``bounds``
+    — the documented ``[t_min, t_max]`` range downstream consumers may
+    rely on.  With ``full_output=True`` a
+    :class:`TemperatureFitResult` carrying a ``converged`` flag is
+    returned instead of the bare float.
     """
     logits = np.asarray(logits, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
@@ -55,23 +79,49 @@ def fit_temperature(
         raise ValueError("logits and labels lengths differ")
     if len(logits) == 0:
         raise ValueError("cannot fit temperature on empty validation set")
+    if not np.isfinite(logits).all():
+        raise ValueError(
+            "logits contain non-finite values; temperature scaling "
+            "needs finite validation logits"
+        )
+    t_min, t_max = float(bounds[0]), float(bounds[1])
+    if not 0 < t_min < t_max:
+        raise ValueError(f"need 0 < t_min < t_max, got ({t_min}, {t_max})")
 
     result = minimize_scalar(
         lambda log_t: nll(logits, labels, float(np.exp(log_t))),
-        bounds=(np.log(bounds[0]), np.log(bounds[1])),
+        bounds=(np.log(t_min), np.log(t_max)),
         method="bounded",
     )
-    return float(np.exp(result.x))
+    temperature = float(np.exp(result.x))
+    converged = bool(result.success and np.isfinite(temperature))
+    temperature = float(min(max(temperature, t_min), t_max))
+    if full_output:
+        return TemperatureFitResult(temperature, converged)
+    return temperature
 
 
 class TemperatureScaler:
-    """Stateful wrapper: fit on validation logits, transform any logits."""
+    """Stateful wrapper: fit on validation logits, transform any logits.
+
+    ``converged_`` records the optimizer's convergence flag of the last
+    :meth:`fit` (``None`` until fitted, or when ``temperature_`` was
+    set directly — e.g. the identity fallback of the run supervisor).
+    """
 
     def __init__(self) -> None:
         self.temperature_: float | None = None
+        self.converged_: bool | None = None
 
-    def fit(self, logits: np.ndarray, labels: np.ndarray) -> "TemperatureScaler":
-        self.temperature_ = fit_temperature(logits, labels)
+    def fit(
+        self,
+        logits: np.ndarray,
+        labels: np.ndarray,
+        bounds: tuple[float, float] = (0.05, 20.0),
+    ) -> "TemperatureScaler":
+        outcome = fit_temperature(logits, labels, bounds, full_output=True)
+        self.temperature_ = outcome.temperature
+        self.converged_ = outcome.converged
         return self
 
     @contract(logits="f[N,K]", returns="f8[N,K]")

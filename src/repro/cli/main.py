@@ -78,6 +78,25 @@ def build_detect_parser() -> argparse.ArgumentParser:
                              "previous --checkpoint-dir run (base path "
                              "or .json/.npz file); continuation is "
                              "bit-identical to an uninterrupted run")
+    parser.add_argument("--guard", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="run-health supervision: sentinels + "
+                             "bounded recovery + graceful degradation "
+                             "(default on; --no-guard disables)")
+    parser.add_argument("--max-litho", type=int, default=None, metavar="N",
+                        help="litho-clip budget for the AL loop; with "
+                             "the guard enabled an overrun degrades to "
+                             "a graceful early stop (default: unlimited)")
+    parser.add_argument("--stage-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="watchdog deadline per pooled "
+                             "dataplane/litho chunk; a hung chunk is "
+                             "cancelled and re-run serially "
+                             "(default: no deadline)")
+    parser.add_argument("--chaos-faults", type=int, default=0, metavar="N",
+                        help="inject N deterministic transient litho "
+                             "faults into the ground-truth simulation "
+                             "(robustness smoke testing)")
     from ..engine import framework_method_names
 
     parser.add_argument("--method", choices=framework_method_names(),
@@ -145,8 +164,18 @@ def detect_main(argv=None) -> int:
         chunk_size=max(args.chunk_size, 1),
         workers=max(args.workers, 0),
         disk_cache_dir=args.feature_cache,
+        task_timeout=args.stage_timeout,
     )
     simulator = LithoSimulator.for_tech(layout.tech_nm, grid=args.grid)
+    if args.chaos_faults > 0:
+        from ..litho.faults import FaultPlan, FlakySimulator
+
+        # spread the faults so the per-clip retry budget absorbs each
+        # one (consecutive call indices never share a fault)
+        plan = FaultPlan.at(*(i * 7 for i in range(args.chaos_faults)))
+        simulator = FlakySimulator(simulator, plan)
+        print(f"chaos: injecting {args.chaos_faults} transient litho "
+              "faults")
     print("labeling ground truth via lithography simulation "
           "(reference only; the flow is charged per queried clip)...")
     labels = np.array(
@@ -155,6 +184,7 @@ def detect_main(argv=None) -> int:
             chunk_size=plane_cfg.chunk_size,
             workers=plane_cfg.workers,
             executor=plane_cfg.executor,
+            timeout=plane_cfg.task_timeout,
         ),
         dtype=np.int64,
     )
@@ -179,6 +209,8 @@ def detect_main(argv=None) -> int:
     print(f"ground truth: {dataset.n_hotspots} hotspot clips "
           f"({dataset.hotspot_ratio:.1%})")
 
+    from ..engine.guard import GuardConfig
+
     config = FrameworkConfig(
         n_query=args.query,
         k_batch=args.batch,
@@ -192,6 +224,11 @@ def detect_main(argv=None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=(
             max(args.checkpoint_every, 1) if args.checkpoint_dir else 0
+        ),
+        guard=GuardConfig(
+            enabled=args.guard,
+            max_litho=args.max_litho,
+            stage_timeout=args.stage_timeout,
         ),
     )
     framework = PSHDFramework(dataset, config, bus=bus)
@@ -212,6 +249,10 @@ def detect_main(argv=None) -> int:
     print(f"hits / false alarms:        {result.hits} / "
           f"{result.false_alarms}")
     print(f"modelled runtime:           {result.runtime_seconds:.0f} s")
+    if result.guard is not None:
+        print(f"guard report:               {result.guard['final_mode']} "
+              f"({result.guard['n_alerts']} alerts, "
+              f"{result.guard['n_recoveries']} recoveries)")
 
     if args.report:
         lines = ["# detected hotspot clip windows (x0 y0 x1 y1)"]

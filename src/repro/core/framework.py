@@ -54,7 +54,9 @@ from ..engine.checkpoint import (
     scaler_arrays,
 )
 from ..engine.events import EventBus, HistoryRecorder
+from ..engine.guard import GuardConfig, GuardReport, RunSupervisor
 from ..engine.session import InferenceSession
+from ..litho.labeler import LithoBudgetExceeded
 from ..model.classifier import HotspotClassifier
 from ..nn.losses import softmax
 from ..stats.gmm import GaussianMixture
@@ -153,6 +155,12 @@ class FrameworkConfig:
     #: many completed iterations (0 = off); see repro.engine.checkpoint
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
+    #: run-health supervision: sentinel thresholds, recovery budgets and
+    #: the litho budget / stage watchdog (see repro.engine.guard).  Not
+    #: part of the checkpoint fingerprint — supervision is
+    #: bit-transparent on healthy runs, so guarded and unguarded runs
+    #: may resume each other's checkpoints.
+    guard: GuardConfig = field(default_factory=GuardConfig)
 
     def __post_init__(self) -> None:
         for name in ("n_query", "k_batch", "n_iterations", "init_train",
@@ -204,7 +212,12 @@ class PSHDFramework:
                 augment=self.config.augment,
             )
         self.classifier = classifier
-        self.labeler = DatasetLabeler(dataset, bus=self.bus)
+        # the litho budget is enforced by the labeler whether or not the
+        # guard is enabled; the guard decides graceful stop vs. abort
+        self.labeler = DatasetLabeler(
+            dataset, bus=self.bus, max_queries=self.config.guard.max_litho
+        )
+        self._supervisor: RunSupervisor | None = None
 
     # ------------------------------------------------------------------
     def _density_core_features(self) -> np.ndarray:
@@ -226,7 +239,9 @@ class PSHDFramework:
             c0, c1 = 0, cells
         return density[:, c0:c1, c0:c1].reshape(len(dataset), -1)
 
-    def _fit_posterior(self) -> np.ndarray:
+    def _fit_posterior(
+        self, seed_offset: int = 0
+    ) -> tuple[np.ndarray, GaussianMixture]:
         """Line 1: GMM posterior of every clip (low = hotspot-like).
 
         By default the mixture is fitted on the core-region cells of the
@@ -234,6 +249,8 @@ class PSHDFramework:
         near-critical geometry far more directly than the full DCT
         spectrum (margin context is placement noise); set
         ``posterior_features='flat'`` to use the full feature vector.
+        ``seed_offset`` perturbs the mixture seed (the run supervisor's
+        re-seeding recovery); 0 is the configured run seed.
         """
         cfg = self.config
         if cfg.posterior_features == "density":
@@ -243,9 +260,27 @@ class PSHDFramework:
         pca = PCA(min(cfg.pca_dim, flats.shape[1]))
         compressed = pca.fit_transform(flats)
         components = min(cfg.gmm_components, max(len(flats) // 10, 1))
-        gmm = GaussianMixture(n_components=components, seed=cfg.seed)
+        gmm = GaussianMixture(
+            n_components=components, seed=cfg.seed + seed_offset
+        )
         gmm.fit(compressed)
-        return gmm.posterior(compressed)
+        return gmm.posterior(compressed), gmm
+
+    def _seed_posterior(self) -> np.ndarray:
+        """The seeding posterior, supervised when a guard is active."""
+        if self._supervisor is None:
+            return self._fit_posterior()[0]
+        return self._supervisor.guarded_posterior(
+            self._fit_posterior, n=len(self.dataset)
+        )
+
+    def _train(self, stage: str, iteration: int | None, train_fn):
+        """Run one training stage, supervised when a guard is active."""
+        if self._supervisor is None:
+            return train_fn()
+        return self._supervisor.guarded_training(
+            self.classifier, train_fn, stage=stage, iteration=iteration
+        )
 
     def _split(
         self, posterior: np.ndarray
@@ -310,21 +345,28 @@ class PSHDFramework:
         dataset = self.dataset
         stage_start = time.perf_counter()
 
-        posterior = self._fit_posterior()
+        posterior = self._seed_posterior()
         train_idx, val_idx, pool = self._split(posterior)
         train_idx = list(train_idx)
         val_idx = np.asarray(val_idx)
         pool = list(pool)
 
+        # a litho budget smaller than the seed sets cannot produce any
+        # model at all, so a budget overrun here propagates even under
+        # supervision — there is nothing to degrade to yet
         y_train = list(self.labeler.label_batch(train_idx))
         y_val = self.labeler.label_batch(val_idx)
 
         # lines 3-5: initialize and train the learning engine
         self.classifier.fit_scaler(dataset.tensors)
-        self.classifier.fit(
-            dataset.tensors[train_idx],
-            np.array(y_train),
-            epochs=cfg.epochs_initial,
+        self._train(
+            "seed",
+            None,
+            lambda: self.classifier.fit(
+                dataset.tensors[train_idx],
+                np.array(y_train),
+                epochs=cfg.epochs_initial,
+            ),
         )
 
         state = _RunState(
@@ -352,10 +394,16 @@ class PSHDFramework:
         """Line 8: fit T on the validation set (identity when the D5
         ablation turns calibration off).  One helper serves both the AL
         loop and the final detection stage."""
-        if self.config.calibrate:
-            state.temperature.fit(session.logits(state.val_idx), state.y_val)
-        else:
+        if not self.config.calibrate:
             state.temperature.temperature_ = 1.0
+            return
+        logits = session.logits(state.val_idx)
+        if self._supervisor is None:
+            state.temperature.fit(logits, state.y_val)
+        else:
+            self._supervisor.guarded_calibration(
+                state.temperature, logits, state.y_val
+            )
 
     def _stage_select(
         self,
@@ -404,7 +452,15 @@ class PSHDFramework:
             if cfg.stop_when(loop_state):
                 return None
 
-        chosen_local, diag = self._select(context)
+        fallback = (
+            self._supervisor.guard_selection(context, iteration)
+            if self._supervisor is not None
+            else None
+        )
+        if fallback is not None:
+            chosen_local, diag = fallback
+        else:
+            chosen_local, diag = self._select(context)
         batch = query[chosen_local]
         self.bus.emit(
             "batch_selected",
@@ -445,10 +501,14 @@ class PSHDFramework:
         state.pool = [i for i in state.pool if i not in removed]
 
         # line 12: update the model on the enlarged training set
-        self.classifier.update(
-            self.dataset.tensors[state.train_idx],
-            np.array(state.y_train),
-            epochs=cfg.epochs_update,
+        self._train(
+            "update",
+            iteration,
+            lambda: self.classifier.update(
+                self.dataset.tensors[state.train_idx],
+                np.array(state.y_train),
+                epochs=cfg.epochs_update,
+            ),
         )
 
         self.bus.emit(
@@ -518,10 +578,51 @@ class PSHDFramework:
                 break
             state.iterations_run = iteration
             query, batch, diag = selection
-            self._stage_update(state, iteration, query, batch, diag)
+            try:
+                self._stage_update(state, iteration, query, batch, diag)
+            except LithoBudgetExceeded as exc:
+                if self._supervisor is None:
+                    raise
+                # the batch was rejected before anything was charged or
+                # committed; stop gracefully — detection still runs on
+                # the model trained so far
+                self._supervisor.budget_exhausted(
+                    exc, stage="update", iteration=iteration
+                )
+                break
             self._maybe_checkpoint(state, rng, recorder, iteration)
 
         return self._stage_detect(session, state)
+
+    def _start_guard(self) -> RunSupervisor | None:
+        """Create and attach a supervisor for this run (or ``None``
+        when supervision is disabled)."""
+        if not self.config.guard.enabled:
+            self._supervisor = None
+            return None
+        supervisor = RunSupervisor(
+            self.config.guard, self.bus, seed=self.config.seed
+        )
+        supervisor.attach()
+        self._supervisor = supervisor
+        return supervisor
+
+    def _finish_guard(
+        self, supervisor: RunSupervisor | None
+    ) -> GuardReport | None:
+        """Emit and archive the guard report of a completed run."""
+        if supervisor is None:
+            return None
+        report = supervisor.report()
+        self.bus.emit("guard_report", **report.as_dict())
+        if self.config.checkpoint_dir:
+            report.save(self.config.checkpoint_dir)
+        return report
+
+    def _end_guard(self, supervisor: RunSupervisor | None) -> None:
+        if supervisor is not None:
+            supervisor.detach()
+        self._supervisor = None
 
     def _build_result(
         self,
@@ -530,6 +631,7 @@ class PSHDFramework:
         false_alarms: int,
         elapsed: float,
         recorder: HistoryRecorder,
+        guard: GuardReport | None = None,
     ) -> PSHDResult:
         dataset = self.dataset
         hs_train = int(np.sum(state.y_train))
@@ -553,6 +655,7 @@ class PSHDFramework:
             pshd_seconds=elapsed,
             history=recorder.history,
             labeled=self.labeler.labeled_indices,
+            guard=guard.as_dict() if guard is not None else None,
         )
 
     def run(self) -> PSHDResult:
@@ -563,16 +666,20 @@ class PSHDFramework:
 
         session = InferenceSession(self.classifier, self.dataset.tensors)
         recorder = self.bus.subscribe(HistoryRecorder())
+        supervisor = self._start_guard()
         try:
             state = self._stage_seed()
             hits, false_alarms = self._run_loop(
                 session, state, rng, recorder, first_iteration=1
             )
+            report = self._finish_guard(supervisor)
         finally:
             self.bus.unsubscribe(recorder)
+            self._end_guard(supervisor)
 
         return self._build_result(
-            state, hits, false_alarms, time.perf_counter() - started, recorder
+            state, hits, false_alarms, time.perf_counter() - started,
+            recorder, guard=report,
         )
 
     def resume(self, path) -> PSHDResult:
@@ -603,6 +710,7 @@ class PSHDFramework:
             pool_size=len(state.pool),
             litho_used=self.labeler.query_count,
         )
+        supervisor = self._start_guard()
         try:
             hits, false_alarms = self._run_loop(
                 session,
@@ -611,11 +719,14 @@ class PSHDFramework:
                 recorder,
                 first_iteration=checkpoint.iteration + 1,
             )
+            report = self._finish_guard(supervisor)
         finally:
             self.bus.unsubscribe(recorder)
+            self._end_guard(supervisor)
 
         return self._build_result(
-            state, hits, false_alarms, time.perf_counter() - started, recorder
+            state, hits, false_alarms, time.perf_counter() - started,
+            recorder, guard=report,
         )
 
     # ------------------------------------------------------------------

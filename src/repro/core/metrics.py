@@ -81,6 +81,9 @@ class PSHDResult:
     history: list[dict] = field(default_factory=list)
     #: indices of all litho-labeled clips (train + val), for layout maps
     labeled: np.ndarray | None = None
+    #: GuardReport.as_dict() of a supervised run (None when the guard
+    #: was disabled); see repro.engine.guard
+    guard: dict | None = None
 
     @property
     def runtime_seconds(self) -> float:

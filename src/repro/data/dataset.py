@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..layout.clip import Clip
-from ..litho.labeler import SECONDS_PER_LITHO_CLIP
+from ..litho.labeler import SECONDS_PER_LITHO_CLIP, LithoBudgetExceeded
 
 __all__ = ["ClipDataset", "DatasetLabeler"]
 
@@ -107,19 +107,42 @@ class DatasetLabeler:
     :class:`~repro.engine.events.EventBus` receives one
     ``labels_computed`` event per :meth:`label_batch` request, carrying
     the same cache-statistics payload as the physical labeler.
+
+    ``max_queries`` caps the number of distinct indices ever charged
+    (the litho budget of Definition 3); exceeding it raises
+    :class:`~repro.litho.labeler.LithoBudgetExceeded` *before* any
+    over-budget label is revealed.  :meth:`label_batch` checks the
+    whole request up front, so a rejected batch charges nothing.
     """
 
-    def __init__(self, dataset: ClipDataset, bus=None) -> None:
+    def __init__(
+        self, dataset: ClipDataset, bus=None, max_queries: int | None = None
+    ) -> None:
+        if max_queries is not None and max_queries <= 0:
+            raise ValueError(
+                f"max_queries must be positive or None, got {max_queries}"
+            )
         self.dataset = dataset
         self.bus = bus
+        self.max_queries = max_queries
         self._seen: set[int] = set()
         self.query_count = 0
+
+    def _check_budget(self, n_new: int) -> None:
+        if (
+            self.max_queries is not None
+            and self.query_count + n_new > self.max_queries
+        ):
+            raise LithoBudgetExceeded(
+                self.max_queries, self.query_count, n_new
+            )
 
     def label(self, index: int) -> int:
         index = int(index)
         if not 0 <= index < len(self.dataset):
             raise IndexError(f"clip index {index} out of range")
         if index not in self._seen:
+            self._check_budget(1)
             self._seen.add(index)
             self.query_count += 1
         return int(self.dataset.labels[index])
@@ -139,6 +162,8 @@ class DatasetLabeler:
         unique = set(indices)
         cached = unique & self._seen
         fresh = unique - self._seen
+        # whole-request budget check: a rejected batch charges nothing
+        self._check_budget(len(fresh))
         labels = np.array([self.label(i) for i in indices], dtype=np.int64)
         if self.bus is not None:
             self.bus.emit(

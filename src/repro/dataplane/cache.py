@@ -20,11 +20,16 @@ from __future__ import annotations
 
 import os
 import tempfile
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # avoid importing the engine at runtime
+    from ..engine.events import EventBus
 
 __all__ = ["CacheStats", "FeatureCache", "feature_key"]
 
@@ -43,6 +48,9 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    #: corrupt disk entries detected and quarantined (each also counts
+    #: as a miss)
+    corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -56,6 +64,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
 
 
@@ -71,6 +80,9 @@ class FeatureCache:
     memory_items: int = 1024
     disk_dir: str | os.PathLike | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    #: optional event bus receiving one ``cache_corrupt`` event per
+    #: quarantined disk entry
+    bus: "EventBus | None" = None
 
     def __post_init__(self) -> None:
         if self.memory_items < 0:
@@ -105,8 +117,10 @@ class FeatureCache:
                 try:
                     with np.load(path, allow_pickle=False) as archive:
                         array = archive["data"]
-                except (OSError, ValueError, KeyError):
-                    # a torn write is a miss, not an error
+                except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                    # a torn write is a miss — quarantine the file so it
+                    # cannot fail again on every future read
+                    self._quarantine(key, path)
                     self.stats.misses += 1
                     return None
                 self.stats.disk_hits += 1
@@ -134,6 +148,16 @@ class FeatureCache:
                 except OSError:
                     if os.path.exists(tmp):
                         os.unlink(tmp)
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Delete a corrupt disk entry and account for it."""
+        self.stats.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass  # concurrent repair/removal; the count still stands
+        if self.bus is not None:
+            self.bus.emit("cache_corrupt", key=key, path=str(path))
 
     def _store_memory(self, key: str, array: np.ndarray) -> None:
         if self.memory_items == 0:

@@ -34,6 +34,11 @@ class DataPlaneConfig:
     disk_cache_dir:
         Directory of the on-disk ``.npz`` tier; ``None`` (default)
         disables it.
+    task_timeout:
+        Watchdog deadline in seconds for each pooled chunk; a chunk
+        that does not answer in time is cancelled and re-run serially
+        (see :func:`repro.dataplane.pool.map_chunks`).  ``None``
+        (default) disables the watchdog.
     """
 
     chunk_size: int = 64
@@ -41,6 +46,7 @@ class DataPlaneConfig:
     executor: str = "thread"
     memory_cache_items: int = 1024
     disk_cache_dir: str | None = None
+    task_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -57,4 +63,9 @@ class DataPlaneConfig:
             raise ValueError(
                 "memory_cache_items must be >= 0, got "
                 f"{self.memory_cache_items}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                "task_timeout must be positive or None, got "
+                f"{self.task_timeout}"
             )

@@ -96,9 +96,33 @@ class BatchFeatureExtractor:
             else FeatureCache(
                 memory_items=self.config.memory_cache_items,
                 disk_dir=self.config.disk_cache_dir,
+                bus=bus,
             )
         )
         self.bus = bus
+
+    def _watchdog_fired(self, chunk_index: int) -> None:
+        """A pooled extraction chunk hung past the deadline and was
+        re-run serially; surface it as a guard event pair."""
+        if self.bus is None:
+            return
+        self.bus.emit(
+            "health_alert",
+            sentinel="pool_watchdog",
+            stage="extract",
+            detail=(
+                f"chunk {chunk_index} exceeded "
+                f"{self.config.task_timeout}s deadline"
+            ),
+            chunk=chunk_index,
+        )
+        self.bus.emit(
+            "recovery_applied",
+            policy="serial_fallback",
+            sentinel="pool_watchdog",
+            stage="extract",
+            chunk=chunk_index,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -166,6 +190,8 @@ class BatchFeatureExtractor:
             chunk_size=cfg.chunk_size,
             workers=cfg.workers,
             executor=cfg.executor,
+            timeout=cfg.task_timeout,
+            on_timeout=self._watchdog_fired,
         )
         cursor = 0
         for chunk_tensors, chunk_flats in chunk_results:

@@ -6,12 +6,20 @@ serially (``workers == 0``, the safe single-process default) or over a
 thread/process pool, always returning per-chunk results in input order.
 The helpers are deliberately free of any dataplane imports so lower
 layers (``repro.litho``, ``repro.data``) can reuse them without cycles.
+
+A ``timeout`` turns on the **watchdog**: a pooled chunk that does not
+answer within the deadline is treated as hung — its future is
+cancelled/abandoned, ``on_timeout(chunk_index)`` fires, and the chunk
+(plus any chunk the compromised pool had not finished) re-runs
+serially in-process, so one stuck worker degrades throughput instead
+of stalling the run forever.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterator, Sequence, TypeVar
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, Iterator, Optional, Sequence, TypeVar
 
 __all__ = ["chunked", "imap_chunks", "map_chunks"]
 
@@ -32,6 +40,8 @@ def _iter_chunks(
     parts: list[list[T]],
     workers: int,
     executor: str,
+    timeout: Optional[float],
+    on_timeout: Optional[Callable[[int], None]],
 ) -> Iterator[R]:
     """Yield per-chunk results in input order (lazy pool consumption).
 
@@ -41,6 +51,12 @@ def _iter_chunks(
     including ``OSError`` from a task — always propagate; silently
     re-running chunks serially would mask real errors and double-execute
     side-effectful work (e.g. double-simulate litho clips).
+
+    A watchdog ``timeout`` is the one sanctioned degradation: a chunk
+    that never *answers* (as opposed to raising) is cancelled at the
+    deadline and recomputed serially, and every later chunk the pool had
+    not already finished is recomputed serially too — a hung worker has
+    poisoned the pool, so no further deadline waits are spent on it.
     """
     if workers <= 0 or len(parts) <= 1:
         yield from (fn(part) for part in parts)
@@ -55,8 +71,30 @@ def _iter_chunks(
     if pool is None:
         yield from (fn(part) for part in parts)
         return
-    with pool:
-        yield from pool.map(fn, parts)
+    hung = False
+    try:
+        futures = [pool.submit(fn, part) for part in parts]
+        for index, future in enumerate(futures):
+            if hung:
+                # pool already compromised: reuse finished results,
+                # recompute everything else in-process
+                if future.done() and not future.cancelled():
+                    yield future.result()
+                else:
+                    future.cancel()
+                    yield fn(parts[index])
+                continue
+            try:
+                yield future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                hung = True
+                future.cancel()
+                if on_timeout is not None:
+                    on_timeout(index)
+                yield fn(parts[index])
+    finally:
+        # a hung pool must not block interpreter progress on shutdown
+        pool.shutdown(wait=not hung, cancel_futures=hung)
 
 
 def imap_chunks(
@@ -65,19 +103,25 @@ def imap_chunks(
     chunk_size: int,
     workers: int = 0,
     executor: str = "thread",
+    timeout: Optional[float] = None,
+    on_timeout: Optional[Callable[[int], None]] = None,
 ) -> Iterator[R]:
     """Lazy :func:`map_chunks`: an iterator of per-chunk results.
 
     Results arrive in input order as chunks complete, so callers can
     commit partial progress (e.g. cache litho verdicts per chunk); when
     ``fn`` raises for chunk ``N``, the exception surfaces after chunks
-    ``0..N-1`` were already yielded.
+    ``0..N-1`` were already yielded.  ``timeout`` (seconds per pooled
+    chunk) arms the watchdog; ``on_timeout`` receives the index of a
+    chunk that was cancelled at the deadline and re-run serially.
     """
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive or None, got {timeout}")
     parts = chunked(items, chunk_size)
     if parts and workers > 0 and len(parts) > 1:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {executor!r}")
-    return _iter_chunks(fn, parts, workers, executor)
+    return _iter_chunks(fn, parts, workers, executor, timeout, on_timeout)
 
 
 def map_chunks(
@@ -86,6 +130,8 @@ def map_chunks(
     chunk_size: int,
     workers: int = 0,
     executor: str = "thread",
+    timeout: Optional[float] = None,
+    on_timeout: Optional[Callable[[int], None]] = None,
 ) -> list[R]:
     """Apply ``fn`` to every chunk of ``items``, in input order.
 
@@ -93,5 +139,10 @@ def map_chunks(
     executor.  Pool start-up failures fall back to the serial path —
     the data plane must never be less available than the eager loop it
     replaced — but task exceptions propagate (see :func:`_iter_chunks`).
+    ``timeout``/``on_timeout`` arm the hung-worker watchdog.
     """
-    return list(imap_chunks(fn, items, chunk_size, workers, executor))
+    return list(
+        imap_chunks(
+            fn, items, chunk_size, workers, executor, timeout, on_timeout
+        )
+    )

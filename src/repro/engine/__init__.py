@@ -30,6 +30,7 @@ from .events import (
     HistoryRecorder,
     ProgressPrinter,
 )
+from .guard import GuardConfig, GuardReport, RunSupervisor
 from .registry import (
     MethodSpec,
     framework_method_names,
@@ -53,6 +54,9 @@ __all__ = [
     "EventLog",
     "HistoryRecorder",
     "ProgressPrinter",
+    "GuardConfig",
+    "GuardReport",
+    "RunSupervisor",
     "InferenceSession",
     "MethodSpec",
     "register_method",

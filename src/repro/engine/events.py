@@ -54,6 +54,27 @@ labelers rather than the framework stages):
     label_seconds`` — one per batch labeling request; ``cache_misses``
     clips actually paid for lithography, ``simulated_seconds`` is their
     runtime-model charge.
+``cache_corrupt``
+    ``key, path`` — a corrupt on-disk feature-cache entry was detected
+    and quarantined (deleted); the read is counted as a miss.
+
+Run-health events (see :mod:`repro.engine.guard`):
+
+``health_alert``
+    ``sentinel, stage, detail, ...`` — a health sentinel tripped
+    (non-finite loss, degenerate GMM, diverged temperature fit,
+    collapsed scoring, litho budget overrun, hung pool worker).
+``recovery_applied``
+    ``policy, sentinel, stage, ...`` — a bounded recovery policy ran
+    (rollback/retrain, GMM reseed, identity temperature, fallback
+    selector, serial fallback, graceful early stop).
+``degraded_mode``
+    ``mode, stage, ...`` — a recovery budget was exhausted and the run
+    continues in a degraded regime instead of aborting.
+``guard_report``
+    ``final_mode, n_alerts, n_recoveries, alerts, recoveries,
+    degraded`` — the :class:`~repro.engine.guard.GuardReport` summary
+    emitted once at the end of a supervised run.
 """
 
 from __future__ import annotations
@@ -84,6 +105,11 @@ EVENT_KINDS = (
     "simulation_retry",
     "features_extracted",
     "labels_computed",
+    "cache_corrupt",
+    "health_alert",
+    "recovery_applied",
+    "degraded_mode",
+    "guard_report",
 )
 
 
@@ -263,6 +289,32 @@ class ProgressPrinter:
                 f"labels: {payload['n_clips']} clips "
                 f"({payload['cache_hits']} cached, "
                 f"{payload['cache_misses']} simulated)"
+            )
+        elif event.kind == "cache_corrupt":
+            line = (
+                f"  cache: quarantined corrupt entry {payload['key']}"
+            )
+        elif event.kind == "health_alert":
+            line = (
+                f"  ! health: {payload['sentinel']} at "
+                f"{payload['stage']} — {payload.get('detail', '')}"
+            )
+        elif event.kind == "recovery_applied":
+            line = (
+                f"  > recovery: {payload['policy']} "
+                f"(sentinel {payload['sentinel']}, "
+                f"stage {payload['stage']})"
+            )
+        elif event.kind == "degraded_mode":
+            line = (
+                f"  * degraded mode: {payload['mode']} "
+                f"(stage {payload['stage']})"
+            )
+        elif event.kind == "guard_report":
+            line = (
+                f"guard: {payload['final_mode']} — "
+                f"{payload['n_alerts']} alerts, "
+                f"{payload['n_recoveries']} recoveries"
             )
         else:
             return

@@ -7,7 +7,7 @@ from .drc import DRCRules, DRCViolation, check_clip, drc_screen
 from .epe import Defect, edge_placement_error, find_defects
 from .faults import FaultPlan, FlakySimulator, TransientSimulationError
 from .opc import OPCConfig, OPCResult, optimize_mask, print_error
-from .labeler import SECONDS_PER_LITHO_CLIP, LithoLabeler
+from .labeler import SECONDS_PER_LITHO_CLIP, LithoBudgetExceeded, LithoLabeler
 from .optics import OpticalModel, duv_model, euv_model
 from .process_window import ProcessWindow, analyze_process_window
 from .resist import ThresholdResist
@@ -29,6 +29,7 @@ __all__ = [
     "LithoResult",
     "LithoSimulator",
     "LithoLabeler",
+    "LithoBudgetExceeded",
     "SECONDS_PER_LITHO_CLIP",
     "TransientSimulationError",
     "FaultPlan",

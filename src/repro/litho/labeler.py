@@ -35,11 +35,32 @@ from ..layout.clip import Clip
 from .faults import TransientSimulationError
 from .simulator import LithoSimulator
 
-__all__ = ["LithoLabeler"]
+__all__ = ["LithoBudgetExceeded", "LithoLabeler"]
 
 #: wall-clock charge per simulated clip used by the paper's runtime model
 #: (Section IV-C: "10s of penalty on each litho-clip").
 SECONDS_PER_LITHO_CLIP = 10.0
+
+
+class LithoBudgetExceeded(RuntimeError):
+    """Labeling would overrun the configured litho-clip budget.
+
+    Raised *before* the offending simulations run, so no paid-for work
+    is discarded and the meter never exceeds the budget.  The run
+    supervisor (:mod:`repro.engine.guard`) turns this into a graceful
+    early stop that still runs the final detect stage.
+    """
+
+    def __init__(
+        self, budget: int, used: int, requested: int
+    ) -> None:
+        super().__init__(
+            f"litho budget exhausted: {used} of {budget} clips spent, "
+            f"{requested} more requested"
+        )
+        self.budget = budget
+        self.used = used
+        self.requested = requested
 
 
 def _simulate_clip(
@@ -101,7 +122,10 @@ class LithoLabeler:
     ``max_retries`` bounds the per-clip retry budget for
     :class:`~repro.litho.faults.TransientSimulationError`;
     ``retry_base_delay`` doubles on each attempt up to
-    ``retry_max_delay`` seconds.
+    ``retry_max_delay`` seconds.  ``max_queries`` caps the number of
+    distinct geometries ever simulated (the litho budget of
+    Definition 3) — exceeding it raises :class:`LithoBudgetExceeded`
+    before any over-budget simulation is paid for.
     """
 
     def __init__(
@@ -111,16 +135,22 @@ class LithoLabeler:
         max_retries: int = 2,
         retry_base_delay: float = 0.1,
         retry_max_delay: float = 2.0,
+        max_queries: int | None = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if retry_base_delay < 0 or retry_max_delay < 0:
             raise ValueError("retry delays must be non-negative")
+        if max_queries is not None and max_queries <= 0:
+            raise ValueError(
+                f"max_queries must be positive or None, got {max_queries}"
+            )
         self.simulator = simulator
         self.bus = bus
         self.max_retries = max_retries
         self.retry_base_delay = retry_base_delay
         self.retry_max_delay = retry_max_delay
+        self.max_queries = max_queries
         self._cache: dict[str, int] = {}
         self.query_count = 0
 
@@ -128,10 +158,20 @@ class LithoLabeler:
     def _key(clip: Clip) -> str:
         return clip.content_key()
 
+    def _check_budget(self, n_new: int) -> None:
+        if (
+            self.max_queries is not None
+            and self.query_count + n_new > self.max_queries
+        ):
+            raise LithoBudgetExceeded(
+                self.max_queries, self.query_count, n_new
+            )
+
     def label(self, clip: Clip) -> int:
         """Hotspot verdict for ``clip`` (1 = hotspot), cached."""
         key = self._key(clip)
         if key not in self._cache:
+            self._check_budget(1)
             verdict, _ = _simulate_clip(
                 self.simulator,
                 clip,
@@ -152,12 +192,33 @@ class LithoLabeler:
         """
         return [self.label(clip) for clip in clips]
 
+    def _watchdog_fired(self, chunk_index: int, timeout: float) -> None:
+        """A pooled simulation chunk hung past the deadline and was
+        re-run serially; surface it as a guard event pair."""
+        if self.bus is None:
+            return
+        self.bus.emit(
+            "health_alert",
+            sentinel="pool_watchdog",
+            stage="label",
+            detail=f"chunk {chunk_index} exceeded {timeout}s deadline",
+            chunk=chunk_index,
+        )
+        self.bus.emit(
+            "recovery_applied",
+            policy="serial_fallback",
+            sentinel="pool_watchdog",
+            stage="label",
+            chunk=chunk_index,
+        )
+
     def label_batch(
         self,
         clips,
         chunk_size: int = 16,
         workers: int = 0,
         executor: str = "thread",
+        timeout: float | None = None,
     ) -> list[int]:
         """Verdicts for many clips with request-level deduplication.
 
@@ -170,7 +231,14 @@ class LithoLabeler:
         Verdicts commit to the cache (and charge the meter) *per
         completed chunk*: if chunk ``N`` fails, the verdicts of chunks
         ``0..N-1`` survive and are free on the next request — mid-batch
-        failures never discard paid-for simulation work.
+        failures never discard paid-for simulation work.  A litho
+        budget (``max_queries``) is likewise enforced per chunk, so an
+        overrun mid-batch keeps every already-committed verdict.
+
+        ``timeout`` arms the pool watchdog: a pooled chunk that does
+        not answer within the deadline is cancelled and re-run serially
+        (one ``health_alert``/``recovery_applied`` event pair per
+        cancelled chunk).
         """
         started = time.perf_counter()
         clips = list(clips)
@@ -195,11 +263,19 @@ class LithoLabeler:
             chunk_size=chunk_size,
             workers=workers,
             executor=executor,
+            timeout=timeout,
+            on_timeout=(
+                None
+                if timeout is None
+                else partial(self._watchdog_fired, timeout=timeout)
+            ),
         )
         total_retries = 0
-        for chunk_index, (chunk_keys, (verdicts, retries)) in enumerate(
-            zip(key_chunks, results)
-        ):
+        for chunk_index, chunk_keys in enumerate(key_chunks):
+            # budget check first: an over-budget chunk never commits or
+            # charges, so the meter can never exceed max_queries
+            self._check_budget(len(chunk_keys))
+            verdicts, retries = next(results)
             for key, verdict in zip(chunk_keys, verdicts):
                 self._cache[key] = int(verdict)
             self.query_count += len(chunk_keys)

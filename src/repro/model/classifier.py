@@ -95,6 +95,18 @@ class HotspotClassifier:
         self._shuffle_rng = np.random.default_rng(seed + 1)
         self._fitted = False
 
+    @property
+    def learning_rate(self) -> float:
+        """The optimizer's live learning rate (the run supervisor backs
+        this off when rolling back a diverged training stage)."""
+        return self._optimizer.lr
+
+    @learning_rate.setter
+    def learning_rate(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"learning rate must be positive, got {value}")
+        self._optimizer.lr = value
+
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------

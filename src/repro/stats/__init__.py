@@ -1,8 +1,8 @@
 """Statistical tools substrate (S8): GMM (query-set formation), PCA
 (feature compression) and k-means (clustering baselines)."""
 
-from .gmm import GaussianMixture
+from .gmm import FitError, GaussianMixture
 from .kmeans import KMeans, kmeans_pp_init
 from .pca import PCA
 
-__all__ = ["GaussianMixture", "PCA", "KMeans", "kmeans_pp_init"]
+__all__ = ["FitError", "GaussianMixture", "PCA", "KMeans", "kmeans_pp_init"]

@@ -13,7 +13,18 @@ import numpy as np
 
 from ..analysis.contracts import contract
 
-__all__ = ["GaussianMixture"]
+__all__ = ["FitError", "GaussianMixture"]
+
+
+class FitError(ValueError):
+    """EM fitting failed on degenerate input or diverged numerically.
+
+    Raised instead of letting ``LinAlgError``-style breakage or NaN
+    posteriors leak out of :meth:`GaussianMixture.fit`; the run
+    supervisor (:mod:`repro.engine.guard`) catches it to re-seed or
+    fall back to random seeding.  Subclasses ``ValueError`` so callers
+    that treated degenerate input as a value error keep working.
+    """
 
 
 class GaussianMixture:
@@ -77,8 +88,13 @@ class GaussianMixture:
             raise ValueError(f"expected (N, D) data, got shape {x.shape}")
         n, d = x.shape
         if n < self.n_components:
-            raise ValueError(
+            raise FitError(
                 f"need at least {self.n_components} samples, got {n}"
+            )
+        if not np.isfinite(x).all():
+            raise FitError(
+                "input contains non-finite values; clean or impute the "
+                "features before fitting"
             )
         rng = np.random.default_rng(self.seed)
 
@@ -90,13 +106,31 @@ class GaussianMixture:
         prev_ll = -np.inf
         for iteration in range(1, self.max_iter + 1):
             log_resp, ll = self._e_step(x)
+            if not np.isfinite(ll):
+                raise FitError(
+                    f"log-likelihood became non-finite at EM iteration "
+                    f"{iteration} (degenerate input?)"
+                )
             self._m_step(x, log_resp)
             self.n_iter_ = iteration
             if abs(ll - prev_ll) < self.tol * max(1.0, abs(prev_ll)):
                 self.converged_ = True
                 break
             prev_ll = ll
+        for name, param in (("weights", self.weights_),
+                            ("means", self.means_),
+                            ("variances", self.variances_)):
+            if not np.isfinite(param).all():
+                raise FitError(
+                    f"fitted {name} contain non-finite values "
+                    "(degenerate input?)"
+                )
         self._log_density_ref_ = float(self.score_samples(x).max())
+        if not np.isfinite(self._log_density_ref_):
+            raise FitError(
+                "training-data log-density reference is non-finite "
+                "(degenerate input?)"
+            )
         return self
 
     # ------------------------------------------------------------------

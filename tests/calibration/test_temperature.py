@@ -117,3 +117,53 @@ class TestTemperatureScaler:
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             TemperatureScaler().transform(np.zeros((2, 2)))
+
+
+class TestFitHardening:
+    def test_non_finite_logits_rejected(self):
+        logits = np.zeros((4, 2))
+        logits[1, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            fit_temperature(logits, np.zeros(4, dtype=int))
+        logits[1, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            fit_temperature(logits, np.zeros(4, dtype=int))
+
+    def test_bad_bounds_rejected(self):
+        logits = np.zeros((4, 2))
+        labels = np.zeros(4, dtype=int)
+        with pytest.raises(ValueError, match="t_min"):
+            fit_temperature(logits, labels, bounds=(0.0, 5.0))
+        with pytest.raises(ValueError, match="t_min"):
+            fit_temperature(logits, labels, bounds=(5.0, 2.0))
+
+    def test_full_output_reports_convergence(self):
+        rng = np.random.default_rng(7)
+        logits, y = overconfident_logits(rng)
+        outcome = fit_temperature(logits, y, full_output=True)
+        assert outcome.temperature > 1.5
+        assert outcome.converged is True
+        assert isinstance(outcome.converged, bool)
+        # the bare-float return path agrees
+        assert outcome.temperature == fit_temperature(logits, y)
+
+    def test_fitted_t_clamped_into_bounds(self):
+        rng = np.random.default_rng(8)
+        y = rng.integers(0, 2, size=400)
+        # strongly underconfident data wants T well below 1
+        signal = (2 * y - 1) + rng.normal(scale=0.05, size=400)
+        logits = np.column_stack([-signal, signal]) * 0.3
+        outcome = fit_temperature(
+            logits, y, bounds=(2.0, 3.0), full_output=True
+        )
+        assert 2.0 <= outcome.temperature <= 3.0
+        assert outcome.temperature == pytest.approx(2.0, abs=1e-3)
+
+    def test_scaler_records_convergence(self):
+        rng = np.random.default_rng(9)
+        logits, y = overconfident_logits(rng)
+        scaler = TemperatureScaler()
+        assert scaler.converged_ is None  # unfitted
+        scaler.fit(logits, y)
+        assert scaler.converged_ is True
+        assert 0.05 <= scaler.temperature_ <= 20.0

@@ -74,7 +74,7 @@ class TestFrameworkRun:
         patterns have low mixture density, and hotspots are rare
         patterns."""
         framework = PSHDFramework(iccad12_small, fast_config(init_train=30))
-        posterior = framework._fit_posterior()
+        posterior, _ = framework._fit_posterior()
         order = np.argsort(posterior)
         lowest = iccad12_small.labels[order[:30]].mean()
         assert lowest > 3 * iccad12_small.hotspot_ratio

@@ -93,3 +93,44 @@ class TestDatasetLabeler:
         labeler.reset()
         assert labeler.query_count == 0
         assert not labeler.is_labeled(0)
+
+
+class TestDatasetLabelerBudget:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="max_queries"):
+            DatasetLabeler(toy_dataset(), max_queries=0)
+
+    def test_label_raises_at_budget_without_charging(self):
+        from repro.litho import LithoBudgetExceeded
+
+        labeler = DatasetLabeler(toy_dataset(), max_queries=2)
+        labeler.label(0)
+        labeler.label(1)
+        labeler.label(0)  # already charged, free
+        with pytest.raises(LithoBudgetExceeded):
+            labeler.label(2)
+        assert labeler.query_count == 2
+        assert not labeler.is_labeled(2)
+
+    def test_label_batch_checks_whole_request_up_front(self):
+        """A rejected batch charges nothing — the budget check runs
+        before any label is revealed."""
+        from repro.litho import LithoBudgetExceeded
+
+        labeler = DatasetLabeler(toy_dataset(), max_queries=3)
+        with pytest.raises(LithoBudgetExceeded) as info:
+            labeler.label_batch([0, 1, 2, 3])
+        assert labeler.query_count == 0
+        assert info.value.requested == 4
+        # a batch that fits still goes through afterwards
+        np.testing.assert_array_equal(
+            labeler.label_batch([0, 1, 4]), [0, 1, 1]
+        )
+        assert labeler.query_count == 3
+
+    def test_cached_indices_do_not_count_against_budget(self):
+        labeler = DatasetLabeler(toy_dataset(), max_queries=2)
+        labeler.label_batch([0, 1])
+        # all already charged: fits in a zero-remaining budget
+        labeler.label_batch([0, 1, 0])
+        assert labeler.query_count == 2

@@ -96,3 +96,54 @@ class TestDiskTier:
             cache.put(f"k{i}", np.full(4, float(i)))
         names = sorted(p.name for p in tmp_path.iterdir())
         assert names == [f"k{i}.npz" for i in range(5)]
+
+
+class TestCorruptQuarantine:
+    def corrupt_entry(self, tmp_path, key="k"):
+        FeatureCache(disk_dir=tmp_path).put(key, np.arange(8.0))
+        path = tmp_path / f"{key}.npz"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # truncated archive
+        return path
+
+    def test_truncated_archive_quarantined(self, tmp_path):
+        path = self.corrupt_entry(tmp_path)
+        cache = FeatureCache(disk_dir=tmp_path)
+        assert cache.get("k") is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert not path.exists()  # the bad file cannot fail twice
+
+    def test_second_read_is_a_plain_miss(self, tmp_path):
+        self.corrupt_entry(tmp_path)
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get("k")
+        assert cache.get("k") is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2
+
+    def test_emits_cache_corrupt_event(self, tmp_path):
+        from repro.engine import EventBus, EventLog
+
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        path = self.corrupt_entry(tmp_path)
+        cache = FeatureCache(disk_dir=tmp_path, bus=bus)
+        cache.get("k")
+        [event] = log.of_kind("cache_corrupt")
+        assert event.payload["key"] == "k"
+        assert event.payload["path"] == str(path)
+
+    def test_entry_can_be_rewritten_after_quarantine(self, tmp_path):
+        self.corrupt_entry(tmp_path)
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get("k")
+        cache.put("k", np.full(4, 7.0))
+        fresh = FeatureCache(disk_dir=tmp_path)
+        np.testing.assert_array_equal(fresh.get("k"), np.full(4, 7.0))
+
+    def test_corrupt_counter_in_as_dict(self, tmp_path):
+        self.corrupt_entry(tmp_path)
+        cache = FeatureCache(disk_dir=tmp_path)
+        cache.get("k")
+        assert cache.stats.as_dict()["corrupt"] == 1

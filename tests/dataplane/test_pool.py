@@ -138,3 +138,60 @@ class TestImapChunks:
         assert list(imap_chunks(_total, items, chunk_size=4, workers=3)) == (
             map_chunks(_total, items, chunk_size=4)
         )
+
+
+class TestWatchdog:
+    """A pooled chunk that never answers is cancelled at the deadline
+    and re-run serially; the pool is then treated as compromised and
+    every unfinished chunk recomputes in-process."""
+
+    def test_hung_chunk_cancelled_and_rerun_serially(self):
+        import threading
+        from collections import Counter
+
+        release = threading.Event()
+        attempts = Counter()
+        fired = []
+
+        def maybe_hang(chunk):
+            attempts[chunk[0]] += 1
+            if chunk[0] == 2 and attempts[chunk[0]] == 1:
+                release.wait(timeout=20.0)  # hang far past the deadline
+            return sum(chunk)
+
+        try:
+            results = map_chunks(
+                maybe_hang,
+                list(range(8)),
+                chunk_size=2,
+                workers=2,
+                executor="thread",
+                timeout=0.5,
+                on_timeout=fired.append,
+            )
+        finally:
+            release.set()  # unblock the abandoned worker thread
+        assert results == [1, 5, 9, 13]
+        assert fired == [1]  # chunk [2, 3] hit the deadline
+        assert attempts[2] == 2  # hung once, then re-ran serially
+
+    def test_armed_watchdog_is_invisible_without_a_hang(self):
+        items = list(range(20))
+        fired = []
+        pooled = map_chunks(
+            _total, items, chunk_size=4, workers=3, executor="thread",
+            timeout=30.0, on_timeout=fired.append,
+        )
+        assert pooled == map_chunks(_total, items, chunk_size=4)
+        assert fired == []
+
+    def test_serial_path_ignores_timeout(self):
+        # workers=0 never pools, so there is nothing to watch
+        assert map_chunks(
+            _total, list(range(6)), chunk_size=2, timeout=0.001
+        ) == [1, 5, 9]
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            map_chunks(_total, list(range(4)), chunk_size=2, workers=2,
+                       timeout=0.0)

@@ -123,6 +123,7 @@ class TestFrameworkEvents:
             "iteration_start", "batch_selected", "labels_computed",
             "model_updated",
             "detection_done",
+            "guard_report",
         ]
 
     def test_payload_litho_accounting(self, run_with_log):

@@ -107,7 +107,7 @@ class TestConsumption:
         )
         assert result.method == "random"
         assert "run_start" in log.kinds()
-        assert log.kinds()[-1] == "detection_done"
+        assert log.kinds()[-2:] == ["detection_done", "guard_report"]
         assert "select" in log.stage_seconds()
         assert "label" in log.stage_seconds()
 

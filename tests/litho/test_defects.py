@@ -276,3 +276,54 @@ class TestLithoLabeler:
         labeler.label(make_clip([Rect(100, 550, 1100, 650)], idx=0))
         labeler.reset()
         assert labeler.query_count == 0
+
+
+class TestLithoBudget:
+    def _labeler(self, max_queries):
+        return LithoLabeler(
+            LithoSimulator.for_tech(28, grid=96), max_queries=max_queries
+        )
+
+    def _clips(self, n):
+        return [
+            make_clip([Rect(100, 500 + 10 * i, 1100, 650 + 10 * i)], idx=i)
+            for i in range(n)
+        ]
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="max_queries"):
+            self._labeler(max_queries=0)
+
+    def test_label_raises_before_simulating_over_budget(self):
+        from repro.litho import LithoBudgetExceeded
+
+        labeler = self._labeler(max_queries=2)
+        a, b, c = self._clips(3)
+        labeler.label(a)
+        labeler.label(b)
+        labeler.label(a)  # cached, free — never counts against budget
+        with pytest.raises(LithoBudgetExceeded) as info:
+            labeler.label(c)
+        assert labeler.query_count == 2  # the meter never exceeds budget
+        assert info.value.budget == 2
+        assert info.value.used == 2
+        assert info.value.requested == 1
+
+    def test_label_batch_overrun_keeps_committed_chunks(self):
+        """The budget is enforced per chunk: an overrun mid-batch keeps
+        every already-committed verdict and never charges the rejected
+        chunk."""
+        from repro.litho import LithoBudgetExceeded
+
+        labeler = self._labeler(max_queries=3)
+        clips = self._clips(5)
+        with pytest.raises(LithoBudgetExceeded):
+            labeler.label_batch(clips, chunk_size=2)
+        # chunk [0, 1] committed; chunk [2, 3] was rejected up front
+        assert labeler.query_count == 2
+        assert labeler.is_cached(clips[0])
+        assert labeler.is_cached(clips[1])
+        assert not labeler.is_cached(clips[2])
+        # the surviving verdicts are free on the next request
+        labeler.label_batch(clips[:3], chunk_size=2)
+        assert labeler.query_count == 3

@@ -94,3 +94,50 @@ class TestPosteriors:
         near = gmm.score_samples(np.array([[0.0, 0.0]]))
         far = gmm.score_samples(np.array([[5.0, 5.0]]))
         assert near[0] > far[0]
+
+
+class TestFitErrorPaths:
+    def test_nan_input_raises_fit_error(self):
+        from repro.stats import FitError
+
+        rng = np.random.default_rng(0)
+        x = two_blob_data(rng)
+        x[3, 1] = np.nan
+        with pytest.raises(FitError, match="non-finite"):
+            GaussianMixture(n_components=2, seed=0).fit(x)
+
+    def test_inf_input_raises_fit_error(self):
+        from repro.stats import FitError
+
+        rng = np.random.default_rng(1)
+        x = two_blob_data(rng)
+        x[0, 0] = np.inf
+        with pytest.raises(FitError, match="non-finite"):
+            GaussianMixture(n_components=2, seed=0).fit(x)
+
+    def test_fit_error_is_value_error(self):
+        """Backward compatibility: callers catching ValueError on bad
+        input keep working."""
+        from repro.stats import FitError
+
+        assert issubclass(FitError, ValueError)
+        with pytest.raises(ValueError):
+            GaussianMixture(n_components=2, seed=0).fit(
+                np.full((30, 2), np.nan)
+            )
+
+    def test_too_few_samples_raises_fit_error(self):
+        from repro.stats import FitError
+
+        with pytest.raises(FitError, match="at least 5 samples"):
+            GaussianMixture(n_components=5, seed=0).fit(np.zeros((3, 2)))
+
+    def test_identical_rows_yield_finite_posteriors(self):
+        """Pathological but representable input (every sample equal)
+        must not silently produce NaN posteriors — either the variance
+        floor carries the fit through, or FitError names the problem."""
+        x = np.full((40, 3), 2.5)
+        gmm = GaussianMixture(n_components=2, seed=0).fit(x)
+        posterior = gmm.posterior(x)
+        assert np.isfinite(posterior).all()
+        assert np.isfinite(gmm.weights_).all()
