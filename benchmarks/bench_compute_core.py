@@ -1,0 +1,164 @@
+"""Extension — compute-core micro-benchmarks: each kernel vs its seed.
+
+Isolates the three kernel-level claims of the shared-runtime refactor,
+away from the end-to-end inference path that ``bench_engine_inference``
+measures:
+
+* **im2col**: one strided-view gather through a reused workspace buffer
+  vs the seed's per-kernel-offset loop with fresh allocations
+  (bit-identical outputs);
+* **fused conv+ReLU**: the in-place bias+ReLU epilogue on the gemm
+  output vs materializing the pre-activation and applying a separate
+  ReLU (bit-identical outputs);
+* **basis-matmul DCT**: the whole-stack ``(N*B*B, bh*bw) @ (bh*bw, k)``
+  contraction vs the seed's per-block ``scipy.fft.dctn`` loop
+  (float64-rounding-identical; the float32 policy row is measured too).
+
+Writes ``BENCH_compute_core.json`` next to the rendered table.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from scipy.fft import dctn
+
+from repro.bench import format_table, write_report
+from repro.features.dct import dct_encode_stack, zigzag_indices
+from repro.nn import Conv2D, ReLU
+from repro.nn.im2col import im2col
+from repro.nn.runtime import ComputeRuntime, PrecisionPolicy
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 3 if QUICK else 9
+
+
+def _best_of(fn, repeats=REPEATS):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _seed_im2col(images, kh, kw, stride, pad):
+    """Seed im2col: np.pad allocation + per-kernel-offset slice loop."""
+    n, c, h, w = images.shape
+    if pad:
+        images = np.pad(
+            images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    patch = np.empty((n, oh, ow, c, kh, kw))
+    for i in range(kh):
+        for j in range(kw):
+            patch[:, :, :, :, i, j] = images[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ].transpose(0, 2, 3, 1)
+    return patch.reshape(n * oh * ow, c * kh * kw)
+
+
+def _seed_dct_stack(images, blocks, coeffs):
+    """Seed DCT: per-clip, per-block scipy dctn + zigzag truncation."""
+    n = len(images)
+    h = images.shape[1] // blocks
+    order = zigzag_indices(h)[:coeffs]
+    out = np.zeros((n, coeffs, blocks, blocks))
+    for idx in range(n):
+        for by in range(blocks):
+            for bx in range(blocks):
+                block = images[
+                    idx, by * h : (by + 1) * h, bx * h : (bx + 1) * h
+                ]
+                spectrum = dctn(block, norm="ortho")
+                for ci, (r, c) in enumerate(order):
+                    out[idx, ci, by, bx] = spectrum[r, c]
+    return out
+
+
+def run_compute_core():
+    rng = np.random.default_rng(0)
+
+    # --- im2col: workspace reuse vs seed loop -------------------------
+    images = rng.normal(size=(120, 16, 12, 12))
+    runtime = ComputeRuntime()
+    want = _seed_im2col(images, 3, 3, 1, 1)
+    got = im2col(images, 3, 3, stride=1, pad=1, runtime=runtime, key="bench")
+    assert np.array_equal(got, want)
+    im2col_seed_s = _best_of(lambda: _seed_im2col(images, 3, 3, 1, 1))
+    im2col_fast_s = _best_of(
+        lambda: im2col(
+            images, 3, 3, stride=1, pad=1, runtime=runtime, key="bench"
+        )
+    )
+
+    # --- fused conv+ReLU vs separate layers ---------------------------
+    conv = Conv2D(16, 16, kernel_size=3, pad=1, rng=rng)
+    relu = ReLU()
+    x = rng.normal(size=(120, 16, 12, 12))
+    want = relu.forward(conv.forward(x))
+    got = conv.forward(x, fuse_relu=True)
+    assert np.array_equal(got, want)
+    unfused_s = _best_of(lambda: relu.forward(conv.forward(x)))
+    fused_s = _best_of(lambda: conv.forward(x, fuse_relu=True))
+
+    # --- basis-matmul DCT vs per-block dctn ---------------------------
+    clips = rng.normal(size=(30 if QUICK else 120, 96, 96))
+    want = _seed_dct_stack(clips, 12, 32)
+    got = dct_encode_stack(clips, blocks=12, coeffs=32)
+    np.testing.assert_allclose(got, want, rtol=0, atol=1e-10)
+    fast_policy = PrecisionPolicy("fast")
+    got_f32 = dct_encode_stack(clips, blocks=12, coeffs=32, policy=fast_policy)
+    np.testing.assert_allclose(got_f32, want, rtol=1e-4, atol=1e-4)
+    dct_seed_s = _best_of(lambda: _seed_dct_stack(clips, 12, 32), repeats=3)
+    dct_basis_s = _best_of(lambda: dct_encode_stack(clips, blocks=12, coeffs=32))
+    dct_f32_s = _best_of(
+        lambda: dct_encode_stack(clips, blocks=12, coeffs=32, policy=fast_policy)
+    )
+
+    return {
+        "im2col_seed_ms": 1000 * im2col_seed_s,
+        "im2col_pooled_ms": 1000 * im2col_fast_s,
+        "im2col_speedup": im2col_seed_s / im2col_fast_s,
+        "conv_relu_unfused_ms": 1000 * unfused_s,
+        "conv_relu_fused_ms": 1000 * fused_s,
+        "conv_relu_speedup": unfused_s / fused_s,
+        "dct_seed_ms": 1000 * dct_seed_s,
+        "dct_basis_ms": 1000 * dct_basis_s,
+        "dct_basis_f32_ms": 1000 * dct_f32_s,
+        "dct_speedup": dct_seed_s / dct_basis_s,
+        "quick": QUICK,
+    }
+
+
+def test_compute_core(benchmark):
+    stats = benchmark.pedantic(run_compute_core, rounds=1, iterations=1)
+
+    text = format_table(
+        ["kernel", "seed ms", "refactored ms", "speedup"],
+        [
+            ["im2col (pooled gather)", stats["im2col_seed_ms"],
+             stats["im2col_pooled_ms"], stats["im2col_speedup"]],
+            ["conv+ReLU (fused)", stats["conv_relu_unfused_ms"],
+             stats["conv_relu_fused_ms"], stats["conv_relu_speedup"]],
+            ["DCT encode (basis matmul)", stats["dct_seed_ms"],
+             stats["dct_basis_ms"], stats["dct_speedup"]],
+            ["DCT encode (float32 policy)", stats["dct_seed_ms"],
+             stats["dct_basis_f32_ms"],
+             stats["dct_seed_ms"] / stats["dct_basis_f32_ms"]],
+        ],
+    )
+    write_report("compute_core", text)
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "benchmarks/out")
+    with open(os.path.join(out_dir, "BENCH_compute_core.json"), "w") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+
+    # each kernel must at least not regress against its seed form, and
+    # the headline basis-matmul DCT must be a clear win
+    assert stats["im2col_speedup"] >= 1.0
+    assert stats["conv_relu_speedup"] >= 1.0
+    assert stats["dct_speedup"] >= 3.0

@@ -123,11 +123,22 @@ def rule_r001(tree: ast.Module, context: LintContext) -> list[Violation]:
 
 _DOWNCAST_NAMES = frozenset({"float32", "float16", "half", "single", "csingle"})
 _R002_SCOPES = ("repro/nn/", "repro/features/")
+#: rule-level allowlist: the compute runtime is the single sanctioned
+#: home of float32 (PrecisionPolicy's fast mode); every other kernel
+#: module must obtain its compute dtype through the policy
+_R002_ALLOWED = ("repro/nn/runtime.py",)
 
 
 def rule_r002(tree: ast.Module, context: LintContext) -> list[Violation]:
-    """R002: no float32/float16 literals or downcasts in f8 kernels."""
+    """R002: no float32/float16 literals or downcasts in f8 kernels.
+
+    ``repro/nn/runtime.py`` is allowlisted: the precision policy there
+    is the one place allowed to name float32, so downcasts stay
+    auditable at a single site.
+    """
     if not any(scope in context.module_path for scope in _R002_SCOPES):
+        return []
+    if any(context.module_path.endswith(allowed) for allowed in _R002_ALLOWED):
         return []
     out = []
     for node in ast.walk(tree):

@@ -58,6 +58,11 @@ def build_detect_parser() -> argparse.ArgumentParser:
                         help="validation-set size (default 24)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--arch", choices=("mlp", "cnn"), default="mlp")
+    parser.add_argument("--precision", choices=("exact", "fast"),
+                        default="exact",
+                        help="compute precision: 'exact' (default) is "
+                             "bit-identical float64; 'fast' runs "
+                             "inference and feature encoding in float32")
     parser.add_argument("--workers", type=int, default=0,
                         help="data-plane pool width for extraction and "
                              "litho labeling (default 0 = in-process)")
@@ -165,6 +170,7 @@ def detect_main(argv=None) -> int:
         workers=max(args.workers, 0),
         disk_cache_dir=args.feature_cache,
         task_timeout=args.stage_timeout,
+        precision=args.precision,
     )
     simulator = LithoSimulator.for_tech(layout.tech_nm, grid=args.grid)
     if args.chaos_faults > 0:
@@ -219,6 +225,7 @@ def detect_main(argv=None) -> int:
         val_size=args.val_size,
         arch=args.arch,
         seed=args.seed,
+        precision=args.precision,
         selector=args.method,  # resolved through the engine registry
         dataplane=plane_cfg,
         checkpoint_dir=args.checkpoint_dir,

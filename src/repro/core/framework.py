@@ -58,6 +58,7 @@ from ..engine.guard import GuardConfig, GuardReport, RunSupervisor
 from ..engine.session import InferenceSession
 from ..litho.labeler import LithoBudgetExceeded
 from ..model.classifier import HotspotClassifier
+from ..nn.runtime import PRECISION_MODES
 from ..nn.losses import softmax
 from ..stats.gmm import GaussianMixture
 from ..stats.pca import PCA
@@ -131,6 +132,10 @@ class FrameworkConfig:
     arch: str = "cnn"
     lr: float = 1e-3
     seed: int = 0
+    #: compute precision of classifier inference and feature encoding:
+    #: "exact" (default) is bit-identical to the seed float64 kernels;
+    #: "fast" computes forward passes in float32 (see repro.nn.runtime)
+    precision: str = "exact"
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     #: a selector callable, a registered method name (resolved through
     #: repro.engine.registry, which may also adjust other fields — e.g.
@@ -172,6 +177,11 @@ class FrameworkConfig:
                 "posterior_features must be 'density' or 'flat', got "
                 f"{self.posterior_features!r}"
             )
+        if self.precision not in PRECISION_MODES:
+            raise ValueError(
+                f"precision must be one of {PRECISION_MODES}, "
+                f"got {self.precision!r}"
+            )
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         if self.checkpoint_every and not self.checkpoint_dir:
@@ -210,6 +220,7 @@ class PSHDFramework:
                 lr=self.config.lr,
                 seed=self.config.seed,
                 augment=self.config.augment,
+                precision=self.config.precision,
             )
         self.classifier = classifier
         # the litho budget is enforced by the labeler whether or not the
@@ -737,7 +748,7 @@ class PSHDFramework:
         resuming run for bit-identical continuation.  ``n_iterations``
         is deliberately absent — a resumed run may extend the loop."""
         cfg = self.config
-        return {
+        fingerprint = {
             "benchmark": self.dataset.name,
             "n_clips": len(self.dataset),
             "method": cfg.method_name,
@@ -755,6 +766,12 @@ class PSHDFramework:
             "epochs_initial": cfg.epochs_initial,
             "epochs_update": cfg.epochs_update,
         }
+        # like the guard exclusion above, "exact" (the default) is left
+        # out so checkpoints written before the precision policy existed
+        # still resume; a non-default mode must match on both sides
+        if cfg.precision != "exact":
+            fingerprint["precision"] = cfg.precision
+        return fingerprint
 
     def _capture_checkpoint(
         self,

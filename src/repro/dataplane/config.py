@@ -4,10 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DataPlaneConfig", "EXECUTORS"]
+__all__ = ["DataPlaneConfig", "EXECUTORS", "PRECISIONS"]
 
 #: supported ``concurrent.futures`` pool flavours
 EXECUTORS = ("thread", "process")
+
+#: supported feature-encoding precision modes (mirrors
+#: ``repro.nn.runtime.PRECISION_MODES``; duplicated literally so this
+#: config module stays importable without numpy)
+PRECISIONS = ("exact", "fast")
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,11 @@ class DataPlaneConfig:
         that does not answer in time is cancelled and re-run serially
         (see :func:`repro.dataplane.pool.map_chunks`).  ``None``
         (default) disables the watchdog.
+    precision:
+        Feature-encoding precision: ``"exact"`` (default) keeps the
+        bit-exact float64 DCT kernel; ``"fast"`` computes the basis
+        matmul in float32 (outputs upcast to float64, cache keys
+        disambiguated — see ``FeatureExtractor.params_key``).
     """
 
     chunk_size: int = 64
@@ -47,6 +57,7 @@ class DataPlaneConfig:
     memory_cache_items: int = 1024
     disk_cache_dir: str | None = None
     task_timeout: float | None = None
+    precision: str = "exact"
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -68,4 +79,9 @@ class DataPlaneConfig:
             raise ValueError(
                 "task_timeout must be positive or None, got "
                 f"{self.task_timeout}"
+            )
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, "
+                f"got {self.precision!r}"
             )

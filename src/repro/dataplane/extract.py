@@ -88,8 +88,13 @@ class BatchFeatureExtractor:
         cache: FeatureCache | None = None,
         bus: EventBus | None = None,
     ) -> None:
-        self.extractor = extractor
         self.config = config if config is not None else DataPlaneConfig()
+        # a non-default config precision overrides the extractor's mode
+        # (cache keys follow via FeatureExtractor.params_key); the
+        # default "exact" leaves an explicitly-built extractor alone
+        if self.config.precision != "exact":
+            extractor = extractor.with_precision(self.config.precision)
+        self.extractor = extractor
         self.cache = (
             cache
             if cache is not None

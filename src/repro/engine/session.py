@@ -46,10 +46,18 @@ class InferenceSession:
     # ------------------------------------------------------------------
     @property
     def scaled(self) -> np.ndarray:
-        """The whole pool, standardized — computed once per scaler fit."""
+        """The whole pool, standardized — computed once per scaler fit.
+
+        Held in the classifier's compute dtype (float64 exact, float32
+        fast), so prescaled prediction calls need no per-request cast.
+        """
         version = self.classifier.scaler_version
         if self._scaled is None or self._scaled_version != version:
-            self._scaled = self.classifier.scaler.transform(self.tensors)
+            # duck-typed classifiers (e.g. CommitteeClassifier) may not
+            # carry a precision policy; they get the exact float64 path
+            self._scaled = self.classifier.scaler.transform(
+                self.tensors, policy=getattr(self.classifier, "policy", None)
+            )
             self._scaled_version = version
         return self._scaled
 

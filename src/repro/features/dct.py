@@ -6,14 +6,28 @@ each block is transformed with a 2-D DCT, and the first ``k`` zigzag
 coefficients of every block are kept.  The result is a compact
 ``(blocks, blocks, k)`` tensor — low-frequency layout structure with an
 order-of-magnitude fewer inputs than the raw raster.
+
+The encoder evaluates the transform as a matmul against a precomputed
+orthonormal DCT basis whose columns are already zigzag-ordered and
+truncated to ``k`` — coefficient selection is fused into the gemm instead
+of a post-hoc fancy-index pass.  The exact (float64) kernel batches the
+matmul per image with a fixed ``(blocks², bh·bw)`` slice shape, which
+keeps :func:`dct_encode` and :func:`dct_encode_stack` bit-identical for
+every batch size (BLAS gemm results are stable for a fixed M but not
+across different M).  The float32 fast path collapses the whole stack
+into one ``(N·blocks², bh·bw) @ (bh·bw, k)`` gemm.  Zigzag orders, index
+arrays and basis matrices are memoized per block size.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 from scipy.fft import dctn, idctn
 
 from ..analysis.contracts import contract
+from ..nn.runtime import PrecisionPolicy
 
 __all__ = [
     "zigzag_indices",
@@ -24,10 +38,9 @@ __all__ = [
 ]
 
 
-def zigzag_indices(size: int) -> list[tuple[int, int]]:
-    """Zigzag scan order of a ``size x size`` block (JPEG convention)."""
-    if size <= 0:
-        raise ValueError(f"size must be positive, got {size}")
+@lru_cache(maxsize=None)
+def _zigzag_order(size: int) -> tuple[tuple[int, int], ...]:
+    """Memoized zigzag scan order of a ``size x size`` block."""
     order = []
     for s in range(2 * size - 1):
         diagonal = [
@@ -36,7 +49,57 @@ def zigzag_indices(size: int) -> list[tuple[int, int]]:
         if s % 2 == 0:
             diagonal.reverse()  # even diagonals run bottom-left to top-right
         order.extend(diagonal)
-    return order
+    return tuple(order)
+
+
+def zigzag_indices(size: int) -> list[tuple[int, int]]:
+    """Zigzag scan order of a ``size x size`` block (JPEG convention)."""
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    return list(_zigzag_order(size))
+
+
+@lru_cache(maxsize=None)
+def _zigzag_arrays(size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(rows, cols)`` scatter/gather index arrays (read-only)."""
+    order = _zigzag_order(size)
+    rows = np.array([r for r, _ in order])
+    cols = np.array([c for _, c in order])
+    rows.flags.writeable = False
+    cols.flags.writeable = False
+    return rows, cols
+
+
+@lru_cache(maxsize=None)
+def _dct_basis_1d(size: int) -> np.ndarray:
+    """Orthonormal DCT-II basis ``D`` with ``D[k, n]`` the weight of
+    sample ``n`` in coefficient ``k`` (read-only, float64)."""
+    n = np.arange(size)
+    basis = np.cos(np.pi * (2 * n[None, :] + 1) * n[:, None] / (2 * size))
+    basis *= np.sqrt(2.0 / size)
+    basis[0, :] = np.sqrt(1.0 / size)
+    basis.flags.writeable = False
+    return basis
+
+
+@lru_cache(maxsize=None)
+def _dct_basis_2d(size: int, coeffs: int, dtype_name: str) -> np.ndarray:
+    """Memoized flattened 2-D DCT basis, zigzag-truncated to ``coeffs``.
+
+    Shape ``(size², coeffs)``: column ``j`` holds the 2-D basis function
+    of the ``j``-th zigzag coefficient, flattened row-major, so
+    ``block.reshape(-1) @ basis`` yields the leading zigzag coefficients
+    directly — truncation is fused into the matmul.
+    """
+    d = _dct_basis_1d(size)
+    # kron(d, d)[u*size+v, y*size+x] = d[u, y] * d[v, x]: rows map flat
+    # pixels to flat (u, v) coefficients
+    full = np.kron(d, d)
+    rows, cols = _zigzag_arrays(size)
+    selected = full[rows[:coeffs] * size + cols[:coeffs]]
+    basis = np.ascontiguousarray(selected.T, dtype=np.dtype(dtype_name))
+    basis.flags.writeable = False
+    return basis
 
 
 @contract(image="f8[H,W]", returns="f8[B,B,*,*]")
@@ -44,6 +107,8 @@ def block_dct(image: np.ndarray, blocks: int) -> np.ndarray:
     """Per-block orthonormal 2-D DCT of ``image`` split into a grid.
 
     Returns shape ``(blocks, blocks, bh, bw)`` where ``bh = H // blocks``.
+    Reference implementation on ``scipy.fft.dctn``; the encoder's basis
+    matmul agrees with it to float64 rounding.
     """
     h, w = image.shape
     if h % blocks or w % blocks:
@@ -56,37 +121,50 @@ def block_dct(image: np.ndarray, blocks: int) -> np.ndarray:
 
 
 @contract(image="f8[H,W]", returns="f8[C,B,B]")
-def dct_encode(image: np.ndarray, blocks: int = 12, coeffs: int = 32) -> np.ndarray:
+def dct_encode(
+    image: np.ndarray,
+    blocks: int = 12,
+    coeffs: int = 32,
+    policy: PrecisionPolicy | None = None,
+) -> np.ndarray:
     """Encode a clip raster into a ``(coeffs, blocks, blocks)`` tensor.
 
     The channel axis comes first (NCHW minus the batch axis) so encoded
-    clips feed :class:`repro.nn.Conv2D` directly.
+    clips feed :class:`repro.nn.Conv2D` directly.  Delegates to the
+    stacked kernel, whose fixed per-image gemm shape makes the two
+    bit-identical.
     """
-    spectra = block_dct(image, blocks)
-    bh, bw = spectra.shape[2], spectra.shape[3]
+    h, w = image.shape
+    if h % blocks or w % blocks:
+        raise ValueError(
+            f"image {image.shape} not divisible into {blocks}x{blocks} blocks"
+        )
+    bh, bw = h // blocks, w // blocks
+    if bh != bw:
+        raise ValueError(f"non-square blocks {bh}x{bw} unsupported")
     if coeffs > bh * bw:
         raise ValueError(
             f"requested {coeffs} coefficients but blocks have {bh * bw}"
         )
-    if bh != bw:
-        raise ValueError(f"non-square blocks {bh}x{bw} unsupported")
-    order = zigzag_indices(bh)[:coeffs]
-    rows = np.array([r for r, _ in order])
-    cols = np.array([c for _, c in order])
-    # (blocks, blocks, coeffs) -> (coeffs, blocks, blocks)
-    return spectra[:, :, rows, cols].transpose(2, 0, 1)
+    return dct_encode_stack(image[None], blocks, coeffs, policy=policy)[0]
 
 
 @contract(images="f8[N,H,W]", returns="f8[N,C,B,B]")
 def dct_encode_stack(
-    images: np.ndarray, blocks: int = 12, coeffs: int = 32
+    images: np.ndarray,
+    blocks: int = 12,
+    coeffs: int = 32,
+    policy: PrecisionPolicy | None = None,
 ) -> np.ndarray:
     """Encode a stack of rasters into ``(N, coeffs, blocks, blocks)``.
 
-    Vectorized over the batch axis: one ``dctn`` call transforms every
-    block of every image, which is both faster than per-image calls and
-    bit-identical to :func:`dct_encode` (the per-block 1-D transforms see
-    exactly the same data either way).
+    One basis matmul transforms and truncates every block of every
+    image.  In exact mode (the default) the gemm is batched per image so
+    each BLAS call sees the same ``(blocks², bh·bw)`` slice shape — that
+    keeps results bit-identical to per-clip :func:`dct_encode` calls for
+    any batch size.  A fast (float32) policy computes one flat gemm over
+    the whole stack and upcasts the result; feature tensors stay float64
+    at the boundary either way.
     """
     images = np.asarray(images)
     if images.ndim != 3:
@@ -106,13 +184,24 @@ def dct_encode_stack(
         )
     if n == 0:
         return np.zeros((0, coeffs, blocks, blocks))
+
+    if policy is not None and not policy.is_exact:
+        compute = policy.compute_dtype
+        basis = _dct_basis_2d(bh, coeffs, compute.name)
+        tiles = policy.compute(images).reshape(
+            n, blocks, bh, blocks, bw
+        ).transpose(0, 1, 3, 2, 4)
+        flat = tiles.reshape(n * blocks * blocks, bh * bw)
+        spectra = flat @ basis
+        out = spectra.reshape(n, blocks, blocks, coeffs).transpose(0, 3, 1, 2)
+        return policy.boundary(np.ascontiguousarray(out))
+
+    basis = _dct_basis_2d(bh, coeffs, "float64")
     tiles = images.reshape(n, blocks, bh, blocks, bw).transpose(0, 1, 3, 2, 4)
-    spectra = dctn(tiles, axes=(3, 4), norm="ortho")
-    order = zigzag_indices(bh)[:coeffs]
-    rows = np.array([r for r, _ in order])
-    cols = np.array([c for _, c in order])
-    # (N, blocks, blocks, coeffs) -> (N, coeffs, blocks, blocks)
-    return spectra[:, :, :, rows, cols].transpose(0, 3, 1, 2)
+    flat = tiles.reshape(n, blocks * blocks, bh * bw)
+    spectra = flat @ basis
+    # (N, blocks², coeffs) -> (N, coeffs, blocks, blocks)
+    return spectra.reshape(n, blocks, blocks, coeffs).transpose(0, 3, 1, 2)
 
 
 @contract(tensor="f8[C,B,B]", returns="f8[H,W]")
@@ -123,10 +212,9 @@ def dct_decode(tensor: np.ndarray, block_size: int) -> np.ndarray:
     lossy because only the leading zigzag coefficients were kept.
     """
     coeffs, blocks_y, blocks_x = tensor.shape
-    order = zigzag_indices(block_size)[:coeffs]
+    rows, cols = _zigzag_arrays(block_size)
     spectra = np.zeros((blocks_y, blocks_x, block_size, block_size))
-    for channel, (r, c) in enumerate(order):
-        spectra[:, :, r, c] = tensor[channel]
+    spectra[:, :, rows[:coeffs], cols[:coeffs]] = np.moveaxis(tensor, 0, -1)
     tiles = idctn(spectra, axes=(2, 3), norm="ortho")
     image = tiles.transpose(0, 2, 1, 3).reshape(
         blocks_y * block_size, blocks_x * block_size

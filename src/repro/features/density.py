@@ -23,9 +23,10 @@ def density_grid(image: np.ndarray, cells: int = 8) -> np.ndarray:
     h, w = image.shape
     if h % cells or w % cells:
         raise ValueError(f"raster {image.shape} not divisible by {cells}")
-    ch, cw = h // cells, w // cells
-    grid = image.reshape(cells, ch, cells, cw).mean(axis=(1, 3))
-    return grid.reshape(-1)
+    # one kernel for both entry points: the stacked reduction over a
+    # single-image batch reduces the same elements in the same memory
+    # order, so delegation is bit-identical
+    return density_grid_stack(image[None], cells)[0]
 
 
 @contract(images="f8[N,H,W]", returns="f8[N,D]")

@@ -11,6 +11,7 @@ import numpy as np
 
 from ..analysis.contracts import contract
 from ..layout.clip import Clip
+from ..nn.runtime import PRECISION_MODES, PrecisionPolicy
 from .dct import dct_encode, dct_encode_stack
 from .density import density_grid, density_grid_stack
 
@@ -34,6 +35,12 @@ class FeatureExtractor:
         dimensions that live in the high-frequency half.
     density_cells:
         Cell grid of the auxiliary density signature.
+    precision:
+        ``"exact"`` (default) encodes with the bit-exact float64 DCT
+        kernel; ``"fast"`` computes the basis matmul in float32 and
+        upcasts, trading ~1e-6 relative feature error for speed.  The
+        mode is part of :attr:`params_key`, so fast-mode features never
+        alias exact cache entries.
     """
 
     def __init__(
@@ -42,6 +49,7 @@ class FeatureExtractor:
         blocks: int = 12,
         coeffs: int = 64,
         density_cells: int = 8,
+        precision: str = "exact",
     ) -> None:
         if grid % blocks:
             raise ValueError(f"grid {grid} not divisible by blocks {blocks}")
@@ -59,10 +67,30 @@ class FeatureExtractor:
             raise ValueError(
                 f"coeffs {coeffs} exceeds block capacity {block_size ** 2}"
             )
+        if precision not in PRECISION_MODES:
+            raise ValueError(
+                f"precision must be one of {PRECISION_MODES}, "
+                f"got {precision!r}"
+            )
         self.grid = grid
         self.blocks = blocks
         self.coeffs = coeffs
         self.density_cells = density_cells
+        self.precision = precision
+        self._policy = PrecisionPolicy(precision)
+
+    def with_precision(self, precision: str) -> "FeatureExtractor":
+        """This extractor's parameters with another precision mode
+        (returns ``self`` when the mode already matches)."""
+        if precision == self.precision:
+            return self
+        return FeatureExtractor(
+            grid=self.grid,
+            blocks=self.blocks,
+            coeffs=self.coeffs,
+            density_cells=self.density_cells,
+            precision=precision,
+        )
 
     @property
     def tensor_shape(self) -> tuple[int, int, int]:
@@ -77,10 +105,15 @@ class FeatureExtractor:
     @property
     def params_key(self) -> str:
         """Stable signature of every parameter that shapes the output —
-        the extractor half of a content-addressed feature-cache key."""
-        return (
-            f"g{self.grid}b{self.blocks}c{self.coeffs}d{self.density_cells}"
-        )
+        the extractor half of a content-addressed feature-cache key.
+
+        Exact mode keeps the seed key (existing caches stay valid);
+        fast mode appends a suffix because its output bits differ.
+        """
+        key = f"g{self.grid}b{self.blocks}c{self.coeffs}d{self.density_cells}"
+        if self.precision != "exact":
+            key += f"p{self.precision}"
+        return key
 
     def raster(self, clip: Clip) -> np.ndarray:
         """Antialiased raster of one clip."""
@@ -97,12 +130,16 @@ class FeatureExtractor:
     @contract(returns="f8[C,B,B]")
     def encode(self, clip: Clip) -> np.ndarray:
         """DCT tensor ``(coeffs, blocks, blocks)`` of one clip."""
-        return dct_encode(self.raster(clip), self.blocks, self.coeffs)
+        return dct_encode(
+            self.raster(clip), self.blocks, self.coeffs, policy=self._policy
+        )
 
     @contract(rasters="f8[N,G,G]", returns="f8[N,C,B,B]")
     def encode_rasters(self, rasters: np.ndarray) -> np.ndarray:
         """DCT tensors of pre-computed rasters (vectorized)."""
-        return dct_encode_stack(rasters, self.blocks, self.coeffs)
+        return dct_encode_stack(
+            rasters, self.blocks, self.coeffs, policy=self._policy
+        )
 
     @contract(rasters="f8[N,G,G]", tensors="?f8[N,C,B,B]", returns="f8[N,D]")
     def flats_from_rasters(

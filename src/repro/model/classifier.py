@@ -17,6 +17,7 @@ import numpy as np
 from ..analysis.contracts import contract
 from ..nn import Adam, SoftmaxCrossEntropy, softmax
 from ..nn.optim import flatten_state, unflatten_state
+from ..nn.runtime import ComputeRuntime, PrecisionPolicy
 from .cnn import build_hotspot_cnn, build_hotspot_mlp
 from .scaler import TensorScaler
 
@@ -57,6 +58,12 @@ class HotspotClassifier:
         orientation augmentation performed directly in the DCT domain
         (see :mod:`repro.features.augment`); ``augment_block_size`` is
         the DCT block size of the input tensors.
+    precision:
+        ``"exact"`` (default) runs inference bit-identically to the seed
+        float64 kernels; ``"fast"`` computes the network forward in
+        float32 and casts logits/embeddings back to float64 at this
+        boundary.  Training, weights, the scaler statistics and
+        checkpoints stay float64 in both modes.
     """
 
     def __init__(
@@ -70,6 +77,7 @@ class HotspotClassifier:
         seed: int = 0,
         augment: bool = False,
         augment_block_size: int = 8,
+        precision: str = "exact",
     ) -> None:
         if arch not in ("cnn", "mlp"):
             raise ValueError(f"arch must be 'cnn' or 'mlp', got {arch!r}")
@@ -82,10 +90,16 @@ class HotspotClassifier:
         self.seed = seed
         self.augment = augment
         self.augment_block_size = augment_block_size
+        self.precision = precision
+        self.policy = PrecisionPolicy(precision)
+        #: private compute runtime: workspace buffers and compute dtype
+        #: for this model's forward passes (never shared across models)
+        self.runtime = ComputeRuntime(policy=self.policy)
 
         rng = np.random.default_rng(seed)
         builder = build_hotspot_cnn if arch == "cnn" else build_hotspot_mlp
         self.network, self._embedding_index = builder(self.input_shape, rng=rng)
+        self.network.runtime = self.runtime
         self.scaler = TensorScaler()
         #: bumped on every scaler (re)fit so downstream caches of scaled
         #: tensors (see repro.engine.session.InferenceSession) can
@@ -227,8 +241,11 @@ class HotspotClassifier:
 
     def _prepare(self, x: np.ndarray, prescaled: bool) -> np.ndarray:
         self._check_fitted()
+        if prescaled:
+            # e.g. an InferenceSession's cache, already in compute dtype
+            return self.policy.compute(np.asarray(x))
         x = np.asarray(x, dtype=np.float64)
-        return x if prescaled else self.scaler.transform(x)
+        return self.scaler.transform(x, policy=self.policy)
 
     @contract(x="*[N,C,H,W]", returns="f8[N,2]")
     def predict_logits(
@@ -238,7 +255,10 @@ class HotspotClassifier:
         callers holding a cached scaled tensor, e.g. an InferenceSession).
         """
         x = self._prepare(x, prescaled)
-        return self.network.predict_logits(x, batch_size=max(self.batch_size, 128))
+        logits = self.network.predict_logits(
+            x, batch_size=max(self.batch_size, 128)
+        )
+        return self.policy.boundary(logits)
 
     @contract(x="*[N,C,H,W]", returns="f8[N,2]")
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
@@ -273,8 +293,8 @@ class HotspotClassifier:
             )
             logits_parts.append(logits)
             feature_parts.append(taps[self._embedding_index])
-        logits = np.concatenate(logits_parts, axis=0)
-        features = np.concatenate(feature_parts, axis=0)
+        logits = self.policy.boundary(np.concatenate(logits_parts, axis=0))
+        features = self.policy.boundary(np.concatenate(feature_parts, axis=0))
         if normalize:
             features = self._normalize_embeddings(features)
         return FullPrediction(logits=logits, embeddings=features)
@@ -304,7 +324,7 @@ class HotspotClassifier:
                 self.network.forward_to(x[start : start + step],
                                         self._embedding_index)
             )
-        features = np.concatenate(outputs, axis=0)
+        features = self.policy.boundary(np.concatenate(outputs, axis=0))
         if normalize:
             features = self._normalize_embeddings(features)
         return features
@@ -321,6 +341,7 @@ class HotspotClassifier:
             seed=self.seed,
             augment=self.augment,
             augment_block_size=self.augment_block_size,
+            precision=self.precision,
         )
 
     # ------------------------------------------------------------------

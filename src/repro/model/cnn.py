@@ -48,6 +48,9 @@ def build_hotspot_cnn(
         conv.append(ReLU())
         return conv
 
+    # without batch_norm every Conv2D/Dense is directly followed by its
+    # ReLU, so Sequential fuses each pair into a single kernel; the
+    # embedding tap lands on a ReLU output, which fusion serves directly
     layers = (
         block(channels, c1)
         + block(c1, c1)
@@ -60,6 +63,7 @@ def build_hotspot_cnn(
     )
     network = Sequential(layers)
     embedding_index = len(layers) - 2  # the ReLU after the FC embedding
+    assert isinstance(layers[embedding_index], ReLU)
     return network, embedding_index
 
 

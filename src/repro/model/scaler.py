@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.contracts import contract
+from ..nn.runtime import PrecisionPolicy
 
 __all__ = ["TensorScaler"]
 
@@ -33,11 +34,21 @@ class TensorScaler:
         self.std_ = x.std(axis=(0, 2, 3), keepdims=True)[0] + self.eps
         return self
 
-    @contract(x="f8[N,C,H,W]", returns="f8[N,C,H,W]")
-    def transform(self, x: np.ndarray) -> np.ndarray:
+    @contract(x="f8[N,C,H,W]", returns="f8[N,C,H,W]|f4[N,C,H,W]")
+    def transform(
+        self, x: np.ndarray, policy: PrecisionPolicy | None = None
+    ) -> np.ndarray:
+        """Standardize ``x``; a fast ``policy`` computes (and returns) in
+        the float32 compute dtype — the classifier's declared precision
+        boundary — while the default stays bit-exact float64."""
         if self.mean_ is None:
             raise RuntimeError("TensorScaler is not fitted")
-        return (x - self.mean_[None]) / self.std_[None]
+        if policy is None or policy.is_exact:
+            return (x - self.mean_[None]) / self.std_[None]
+        xc = policy.compute(x)
+        mean = policy.compute(self.mean_)
+        std = policy.compute(self.std_)
+        return (xc - mean[None]) / std[None]
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         return self.fit(x).transform(x)

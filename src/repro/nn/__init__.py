@@ -26,6 +26,15 @@ from .layers import (
 from .losses import SoftmaxCrossEntropy, log_softmax, softmax
 from .network import Sequential
 from .optim import SGD, Adam, Momentum, Optimizer
+from .runtime import (
+    PRECISION_MODES,
+    ComputeRuntime,
+    PrecisionPolicy,
+    WorkspaceArena,
+    get_runtime,
+    set_runtime,
+    using_runtime,
+)
 from .schedulers import CosineAnnealing, LinearWarmup, Scheduler, StepDecay
 
 __all__ = [
@@ -58,4 +67,11 @@ __all__ = [
     "StepDecay",
     "CosineAnnealing",
     "LinearWarmup",
+    "PRECISION_MODES",
+    "PrecisionPolicy",
+    "WorkspaceArena",
+    "ComputeRuntime",
+    "get_runtime",
+    "set_runtime",
+    "using_runtime",
 ]

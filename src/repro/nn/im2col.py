@@ -5,6 +5,13 @@ tensor is unfolded so every receptive field becomes a row (``im2col``), the
 kernel bank becomes a matrix, and the product yields all output pixels at
 once.  ``col2im`` is the exact adjoint used during backpropagation.
 
+``im2col`` gathers through a single strided-view copy (one pass over the
+patch tensor instead of the seed's per-kernel-offset loop plus a transpose
+copy) and can route its padded-input and column scratch through a
+:class:`~repro.nn.runtime.WorkspaceArena` so repeated same-shape batches
+reuse one allocation.  Values and row layout are bit-identical to the seed
+kernel either way.
+
 All tensors use the NCHW layout: ``(batch, channels, height, width)``.
 """
 
@@ -12,7 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["conv_output_size", "im2col", "col2im"]
+from .runtime import ComputeRuntime
+
+__all__ = ["conv_output_size", "im2col", "im2col_nhwc", "col2im"]
 
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -38,31 +47,125 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return span // stride + 1
 
 
+def _patch_view(
+    padded: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Zero-copy ``(N, OH, OW, C, KH, KW)`` view of all receptive fields."""
+    n, c = padded.shape[:2]
+    sn, sc, sh, sw = padded.strides
+    shape = (n, out_h, out_w, c, kernel_h, kernel_w)
+    strides = (sn, sh * stride, sw * stride, sc, sh, sw)
+    return np.lib.stride_tricks.as_strided(padded, shape=shape, strides=strides)
+
+
 def im2col(
-    images: np.ndarray, kernel_h: int, kernel_w: int, stride: int = 1, pad: int = 0
+    images: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    pad: int = 0,
+    runtime: ComputeRuntime | None = None,
+    key=None,
 ) -> np.ndarray:
     """Unfold ``images`` (N, C, H, W) into a 2-D matrix of receptive fields.
 
     Returns an array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
     where each row is one flattened receptive field.
+
+    With both ``runtime`` and ``key``, the padded input and the returned
+    column matrix live in the runtime's workspace arena under ``key`` —
+    the caller must treat the result as scratch that the next same-key
+    call overwrites.  Without a key the result is a fresh allocation.
+    """
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    pooled = runtime is not None and key is not None
+
+    if pad > 0:
+        if pooled:
+            # borders are zeroed once at creation and never written again:
+            # every call overwrites exactly the interior
+            padded = runtime.buffer(
+                (key, "pad"),
+                (n, c, h + 2 * pad, w + 2 * pad),
+                images.dtype,
+                zero_on_create=True,
+            )
+            padded[:, :, pad:-pad, pad:-pad] = images
+        else:
+            padded = np.pad(
+                images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+            )
+    else:
+        padded = images
+
+    patches = _patch_view(padded, kernel_h, kernel_w, stride, out_h, out_w)
+    rows = n * out_h * out_w
+    feat = c * kernel_h * kernel_w
+    if pooled:
+        cols = runtime.buffer((key, "cols"), (rows, feat), images.dtype)
+    else:
+        cols = np.empty((rows, feat), dtype=images.dtype)
+    # one gather copy: (N, OH, OW, C, KH, KW) is exactly the row-major
+    # layout of the (rows, feat) column matrix
+    cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)[...] = patches
+    return cols
+
+
+def im2col_nhwc(
+    images: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+    runtime: ComputeRuntime,
+    key,
+) -> np.ndarray:
+    """Unfold into columns ordered ``(KH, KW, C)`` via an NHWC scratch.
+
+    The channels-last scratch keeps each gathered chunk ``C`` elements
+    contiguous instead of the NCHW view's ``KW``-element slivers, which
+    makes the gather several times faster on the small spatial extents
+    of the DCT tensors.  The column order differs from :func:`im2col`
+    (``(C, KH, KW)``), so the kernel matrix must be permuted to match —
+    the summation order of the convolution gemm changes, which is why
+    this path serves only the float32 fast policy, never the bit-exact
+    float64 kernels.  Always arena-pooled: the result is scratch that
+    the next same-key call overwrites.
     """
     n, c, h, w = images.shape
     out_h = conv_output_size(h, kernel_h, stride, pad)
     out_w = conv_output_size(w, kernel_w, stride, pad)
 
-    if pad > 0:
-        images = np.pad(
-            images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
-        )
+    # borders are zeroed once at creation and never written again:
+    # every call overwrites exactly the interior
+    padded = runtime.buffer(
+        (key, "pad"),
+        (n, h + 2 * pad, w + 2 * pad, c),
+        images.dtype,
+        zero_on_create=True,
+    )
+    # a no-op-layout copy when ``images`` is an NCHW view over NHWC
+    # memory, i.e. the output of the previous fast-path layer
+    padded[:, pad : pad + h, pad : pad + w, :] = images.transpose(0, 2, 3, 1)
 
-    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
-    for ky in range(kernel_h):
-        y_max = ky + stride * out_h
-        for kx in range(kernel_w):
-            x_max = kx + stride * out_w
-            cols[:, :, ky, kx, :, :] = images[:, :, ky:y_max:stride, kx:x_max:stride]
-
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    sn, sh, sw, sc = padded.strides
+    patches = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, out_h, out_w, kernel_h, kernel_w, c),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+    )
+    rows = n * out_h * out_w
+    feat = kernel_h * kernel_w * c
+    cols = runtime.buffer((key, "cols"), (rows, feat), images.dtype)
+    cols.reshape(n, out_h, out_w, kernel_h, kernel_w, c)[...] = patches
+    return cols
 
 
 def col2im(

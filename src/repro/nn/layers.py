@@ -10,11 +10,18 @@ Layers distinguish training and inference through the ``train`` flag on
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from ..analysis.contracts import contract
-from .im2col import col2im, conv_output_size, im2col
+from .im2col import col2im, conv_output_size, im2col, im2col_nhwc
 from .initializers import get_initializer
+from .runtime import ComputeRuntime, get_runtime
+
+#: unique workspace-key counter shared by all layers — every layer gets a
+#: distinct arena slot so one layer's scratch never clobbers another's
+_WS_IDS = itertools.count()
 
 __all__ = [
     "Layer",
@@ -31,6 +38,25 @@ __all__ = [
     "Dropout",
     "BatchNorm",
 ]
+
+
+def _params_as(layer, dtype, runtime: ComputeRuntime | None):
+    """``(weight, bias)`` of ``layer`` in the compute dtype.
+
+    Float64 (the parameters' own dtype) passes the live arrays through
+    untouched; a downcast compute dtype fills arena-pooled copies so the
+    per-batch cast reuses one buffer.  Weights move every optimizer step,
+    so the copies are refreshed on every call.
+    """
+    weight, bias = layer.weight, layer.bias
+    if weight.dtype == dtype:
+        return weight, bias
+    rt = runtime if runtime is not None else get_runtime()
+    wbuf = rt.buffer(("param", layer._ws_id, "w"), weight.shape, dtype)
+    wbuf[...] = weight
+    bbuf = rt.buffer(("param", layer._ws_id, "b"), bias.shape, dtype)
+    bbuf[...] = bias
+    return wbuf, bbuf
 
 
 class Layer:
@@ -88,15 +114,27 @@ class Dense(Layer):
         self.grad_weight = np.zeros_like(self.weight)
         self.grad_bias = np.zeros_like(self.bias)
         self._x: np.ndarray | None = None
+        self._ws_id = next(_WS_IDS)
 
-    @contract(x="f8[N,F]", returns="f8[N,K]")
-    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+    @contract(x="f8[N,F]|f4[N,F]", returns="f8[N,K]|f4[N,K]")
+    def forward(
+        self,
+        x: np.ndarray,
+        train: bool = False,
+        runtime: ComputeRuntime | None = None,
+        fuse_relu: bool = False,
+    ) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Dense expected (N, {self.in_features}), got {x.shape}"
             )
         self._x = x if train else None
-        return x @ self.weight + self.bias
+        weight, bias = _params_as(self, x.dtype, runtime)
+        out = x @ weight
+        out += bias
+        if fuse_relu:
+            np.maximum(out, 0, out=out)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
@@ -148,9 +186,16 @@ class Conv2D(Layer):
         self.grad_bias = np.zeros_like(self.bias)
         self._cols: np.ndarray | None = None
         self._input_shape: tuple[int, int, int, int] | None = None
+        self._ws_id = next(_WS_IDS)
 
-    @contract(x="f8[N,C,H,W]", returns="f8[N,K,OH,OW]")
-    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+    @contract(x="f8[N,C,H,W]|f4[N,C,H,W]", returns="f8[N,K,OH,OW]|f4[N,K,OH,OW]")
+    def forward(
+        self,
+        x: np.ndarray,
+        train: bool = False,
+        runtime: ComputeRuntime | None = None,
+        fuse_relu: bool = False,
+    ) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
@@ -159,10 +204,30 @@ class Conv2D(Layer):
         k, s, p = self.kernel_size, self.stride, self.pad
         out_h = conv_output_size(h, k, s, p)
         out_w = conv_output_size(w, k, s, p)
+        rt = runtime if runtime is not None else get_runtime()
 
-        cols = im2col(x, k, k, s, p)
-        flat_w = self.weight.reshape(self.out_channels, -1)
-        out = cols @ flat_w.T + self.bias
+        # downcast inference rides the channels-last kernel: same values
+        # to compute-dtype rounding, but a different gemm summation
+        # order, so the bit-exact float64 path never takes it
+        if not train and x.dtype != np.float64:
+            return self._forward_fast_nhwc(
+                x, rt, n, out_h, out_w, fuse_relu
+            )
+
+        # train and inference use distinct arena slots so a validation
+        # forward between a training forward and its backward cannot
+        # clobber the cached training columns
+        cols = im2col(
+            x, k, k, s, p,
+            runtime=rt,
+            key=("conv2d", self._ws_id, "train" if train else "infer", k, s, p),
+        )
+        weight, bias = _params_as(self, x.dtype, rt)
+        flat_w = weight.reshape(self.out_channels, -1)
+        out = cols @ flat_w.T
+        out += bias
+        if fuse_relu:
+            np.maximum(out, 0, out=out)
         out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
 
         if train:
@@ -172,6 +237,40 @@ class Conv2D(Layer):
             self._cols = None
             self._input_shape = None
         return out
+
+    def _forward_fast_nhwc(
+        self,
+        x: np.ndarray,
+        rt: ComputeRuntime,
+        n: int,
+        out_h: int,
+        out_w: int,
+        fuse_relu: bool,
+    ) -> np.ndarray:
+        """Channels-last inference kernel for downcast compute dtypes."""
+        k, s, p = self.kernel_size, self.stride, self.pad
+        f = self.out_channels
+        cols = im2col_nhwc(
+            x, k, k, s, p,
+            runtime=rt,
+            key=("conv2d_nhwc", self._ws_id, k, s, p),
+        )
+        weight, bias = _params_as(self, x.dtype, rt)
+        # kernel matrix permuted to the (KH, KW, C) column order
+        wp = rt.buffer(
+            ("param", self._ws_id, "w_nhwc"), (f, k * k * self.in_channels),
+            x.dtype,
+        )
+        wp[...] = weight.transpose(0, 2, 3, 1).reshape(f, -1)
+        out = cols @ wp.T
+        out += bias
+        if fuse_relu:
+            np.maximum(out, 0, out=out)
+        self._cols = None
+        self._input_shape = None
+        # NCHW view over NHWC memory — the next fast-path layer's
+        # channels-last scratch write is then a contiguous copy
+        return out.reshape(n, out_h, out_w, f).transpose(0, 3, 1, 2)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cols is None or self._input_shape is None:
@@ -226,6 +325,19 @@ class MaxPool2D(Layer):
         k, s = self.pool_size, self.stride
         out_h = conv_output_size(h, k, s, 0)
         out_w = conv_output_size(w, k, s, 0)
+
+        # Inference needs only the max values, not their positions: a
+        # reshape-max avoids the im2col gather and the argmax sweep
+        # entirely and picks bit-identical values (ties share the value).
+        if not train and s == k and h % k == 0 and w % k == 0:
+            xt = x.transpose(0, 2, 3, 1)
+            if xt.flags.c_contiguous:
+                # NCHW view over NHWC memory (fast-path conv output):
+                # reduce channels-last so the reshape stays a view, and
+                # hand the next layer NHWC memory again
+                out = xt.reshape(n, out_h, k, out_w, k, c).max(axis=(2, 4))
+                return out.transpose(0, 3, 1, 2)
+            return x.reshape(n, c, out_h, k, out_w, k).max(axis=(3, 5))
 
         # Treat channels as independent images so im2col rows are per-channel
         cols = im2col(x.reshape(n * c, 1, h, w), k, k, s, 0)
@@ -360,6 +472,15 @@ class ReLU(Layer):
         if train:
             self._mask = mask
         return np.where(mask, x, 0.0)
+
+    def accept_fused(self, out: np.ndarray, train: bool = False) -> None:
+        """Record backward state when an upstream Conv2D/Dense already
+        applied this ReLU in its own kernel (``fuse_relu=True``).
+
+        The mask recovered from the *rectified* output equals the mask
+        of the pre-activation: ``max(x, 0) > 0`` iff ``x > 0``.
+        """
+        self._mask = (out > 0) if train else None
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -48,6 +48,10 @@ class SoftmaxCrossEntropy:
 
     def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
         """Mean (weighted) cross-entropy of integer ``labels``."""
+        # training is float64-only: the loss is the root of the backward
+        # chain, so upcast here keeps every gradient f8 even if a caller
+        # hands in fast-path (float32) logits
+        logits = np.asarray(logits, dtype=np.float64)
         labels = np.asarray(labels)
         if logits.ndim != 2:
             raise ValueError(f"expected (N, C) logits, got {logits.shape}")

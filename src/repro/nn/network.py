@@ -13,22 +13,39 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..analysis.contracts import contract
-from .layers import Layer
+from .layers import Conv2D, Dense, Layer, ReLU
+from .runtime import ComputeRuntime, get_runtime
 
 __all__ = ["Sequential"]
 
 
 class Sequential:
-    """A plain feed-forward stack of :class:`~repro.nn.layers.Layer`."""
+    """A plain feed-forward stack of :class:`~repro.nn.layers.Layer`.
 
-    def __init__(self, layers: Sequence[Layer]) -> None:
+    The forward pass fuses each ``Conv2D``/``Dense`` layer with a
+    directly following ``ReLU`` into one kernel (an in-place rectify on
+    the matmul output — bit-identical to the separate pass, see
+    :meth:`~repro.nn.layers.ReLU.accept_fused`), unless a tap requests
+    the pre-activation.  Workspace buffers and the compute dtype come
+    from ``self.runtime`` (the owning classifier's) or the process
+    default.
+    """
+
+    def __init__(
+        self, layers: Sequence[Layer], runtime: ComputeRuntime | None = None
+    ) -> None:
         if not layers:
             raise ValueError("Sequential requires at least one layer")
         self.layers: list[Layer] = list(layers)
+        #: compute runtime used by forward passes (None → process default)
+        self.runtime = runtime
 
     # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------
+    def _resolve_runtime(self) -> ComputeRuntime:
+        return self.runtime if self.runtime is not None else get_runtime()
+
     def forward(
         self,
         x: np.ndarray,
@@ -43,18 +60,38 @@ class Sequential:
         ``(output, {tap: activation})`` — one sweep serves both the
         logits and any embedding features, instead of one pass per tap.
         """
-        if taps is None:
-            for layer in self.layers:
-                x = layer.forward(x, train=train)
-            return x
+        rt = self._resolve_runtime()
         wanted: dict[int, list[int]] = {}
-        for tap in taps:
-            wanted.setdefault(self._normalize_index(tap), []).append(tap)
+        if taps is not None:
+            for tap in taps:
+                wanted.setdefault(self._normalize_index(tap), []).append(tap)
         tapped: dict[int, np.ndarray] = {}
-        for i, layer in enumerate(self.layers):
-            x = layer.forward(x, train=train)
+        n_layers = len(self.layers)
+        i = 0
+        while i < n_layers:
+            layer = self.layers[i]
+            fused = (
+                i + 1 < n_layers
+                and type(self.layers[i + 1]) is ReLU
+                and isinstance(layer, (Conv2D, Dense))
+                and i not in wanted  # a tap wants the pre-activation
+            )
+            if fused:
+                x = layer.forward(x, train=train, runtime=rt, fuse_relu=True)
+                self.layers[i + 1].accept_fused(x, train=train)
+                for tap in wanted.get(i + 1, ()):
+                    tapped[tap] = x
+                i += 2
+                continue
+            if isinstance(layer, (Conv2D, Dense)):
+                x = layer.forward(x, train=train, runtime=rt)
+            else:
+                x = layer.forward(x, train=train)
             for tap in wanted.get(i, ()):
                 tapped[tap] = x
+            i += 1
+        if taps is None:
+            return x
         return x, tapped
 
     def _normalize_index(self, layer_index: int) -> int:
@@ -150,7 +187,7 @@ class Sequential:
     # ------------------------------------------------------------------
     # inference helpers
     # ------------------------------------------------------------------
-    @contract(x="f8[N,...]", returns="f8[N,K]")
+    @contract(x="f8[N,...]|f4[N,...]", returns="f8[N,K]|f4[N,K]")
     def predict_logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Batched inference returning raw logits."""
         outputs = []

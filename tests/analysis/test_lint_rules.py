@@ -94,6 +94,23 @@ class TestR002:
         assert lint(source, path="src/repro/viz/plots.py") == []
         assert codes(lint(source, path="src/repro/features/k.py")) == ["R002"]
 
+    def test_runtime_module_is_allowlisted(self):
+        # the compute runtime is the single sanctioned float32 site
+        source = """
+            import numpy as np
+            COMPUTE = np.float32
+            def f(x):
+                return x.astype(np.float32)
+            """
+        assert lint(source, path="src/repro/nn/runtime.py") == []
+        # the allowlist is exact — sibling kernels still fire
+        assert codes(lint(source, path="src/repro/nn/layers.py")) == [
+            "R002", "R002",
+        ]
+        assert codes(lint(source, path="src/repro/features/dct.py")) == [
+            "R002", "R002",
+        ]
+
     def test_docstring_mention_is_not_flagged(self):
         found = lint(
             '''

@@ -1,0 +1,128 @@
+"""Precision policy end-to-end: float32 fast path vs. float64 exact path.
+
+Two classifiers with identical weights — one per mode — must agree to
+float32 rounding on logits/probabilities/embeddings and produce identical
+hard predictions on the paper-default CNN configuration; the fast mode's
+public outputs stay float64 (the boundary cast), and exact mode stays
+bit-identical to the seed kernels (covered by the tier-1 suite running
+in default mode).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.session import InferenceSession
+from repro.model.classifier import HotspotClassifier
+
+
+def _toy_data(rng, n=80, shape=(8, 12, 12)):
+    x = rng.normal(size=(n,) + shape)
+    y = (x.mean(axis=(1, 2, 3)) > 0).astype(np.int64)
+    return x, y
+
+
+def _twin(trained: HotspotClassifier, precision: str) -> HotspotClassifier:
+    """A classifier in another precision mode sharing trained state."""
+    twin = HotspotClassifier(
+        input_shape=trained.input_shape,
+        arch=trained.arch,
+        lr=trained.lr,
+        seed=trained.seed,
+        precision=precision,
+    )
+    twin.network.set_weights(trained.network.get_weights())
+    twin.scaler.mean_ = trained.scaler.mean_.copy()
+    twin.scaler.std_ = trained.scaler.std_.copy()
+    twin.scaler_version = trained.scaler_version
+    twin._fitted = True
+    return twin
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    clf = HotspotClassifier(
+        input_shape=(8, 12, 12), arch="cnn", seed=0, epochs=2
+    )
+    x, y = _toy_data(rng)
+    clf.fit_scaler(x)
+    clf.fit(x, y)
+    return clf
+
+
+@pytest.fixture(scope="module")
+def fast(trained):
+    return _twin(trained, "fast")
+
+
+class TestFastParity:
+    def test_fast_outputs_are_float64_at_the_boundary(self, trained, fast):
+        rng = np.random.default_rng(5)
+        x, _ = _toy_data(rng, n=32)
+        logits = fast.predict_logits(x)
+        assert logits.dtype == np.float64
+        full = fast.predict_full(x)
+        assert full.logits.dtype == np.float64
+        assert full.embeddings.dtype == np.float64
+        assert fast.embeddings(x).dtype == np.float64
+
+    def test_logits_close_and_argmax_identical(self, trained, fast):
+        rng = np.random.default_rng(6)
+        x, _ = _toy_data(rng, n=64)
+        exact_logits = trained.predict_logits(x)
+        fast_logits = fast.predict_logits(x)
+        np.testing.assert_allclose(
+            fast_logits, exact_logits, rtol=1e-4, atol=1e-4
+        )
+        assert np.array_equal(
+            fast_logits.argmax(axis=1), exact_logits.argmax(axis=1)
+        )
+
+    def test_probabilities_close(self, trained, fast):
+        rng = np.random.default_rng(7)
+        x, _ = _toy_data(rng, n=48)
+        np.testing.assert_allclose(
+            fast.predict_proba(x), trained.predict_proba(x),
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_embeddings_close(self, trained, fast):
+        rng = np.random.default_rng(8)
+        x, _ = _toy_data(rng, n=40)
+        exact_full = trained.predict_full(x)
+        fast_full = fast.predict_full(x)
+        np.testing.assert_allclose(
+            fast_full.embeddings, exact_full.embeddings,
+            rtol=1e-3, atol=1e-4,
+        )
+        # the two fast-path embedding routes agree with each other too
+        np.testing.assert_allclose(
+            fast.embeddings(x), fast_full.embeddings, rtol=1e-5, atol=1e-6
+        )
+
+    def test_session_cache_holds_compute_dtype(self, trained, fast):
+        rng = np.random.default_rng(9)
+        x, _ = _toy_data(rng, n=24)
+        exact_session = InferenceSession(trained, x)
+        fast_session = InferenceSession(fast, x)
+        assert exact_session.scaled.dtype == np.float64
+        assert fast_session.scaled.dtype == np.float32
+        np.testing.assert_allclose(
+            fast_session.logits(), exact_session.logits(),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_exact_mode_prepare_is_float64(self, trained):
+        rng = np.random.default_rng(10)
+        x, _ = _toy_data(rng, n=8)
+        assert trained.policy.compute_dtype == np.float64
+        assert trained.runtime.policy.is_exact
+
+    def test_clone_untrained_preserves_precision(self, fast):
+        clone = fast.clone_untrained()
+        assert clone.precision == "fast"
+        assert clone.policy.compute_dtype == np.float32
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            HotspotClassifier(input_shape=(8, 12, 12), precision="double")
