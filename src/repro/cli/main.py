@@ -71,6 +71,30 @@ def build_detect_parser() -> argparse.ArgumentParser:
     parser.add_argument("--feature-cache", default=None, metavar="DIR",
                         help="directory of the on-disk feature cache "
                              "(default: in-memory tier only)")
+    parser.add_argument("--cache-shards", type=int, default=0,
+                        metavar="N",
+                        help="shard the on-disk feature cache over N "
+                             "subdirectories (default 0 = flat layout)")
+    parser.add_argument("--max-cache-bytes", type=int, default=None,
+                        metavar="B",
+                        help="byte budget of the on-disk feature cache "
+                             "with LRU eviction (default: unbounded)")
+    parser.add_argument("--tile-size", type=int, default=0, metavar="T",
+                        help="run a tiled streaming full-chip scan with "
+                             "the trained model, T clip windows per "
+                             "tile edge (default 0 = off)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="work-stealing tile shards of the "
+                             "streaming scan (default 1)")
+    parser.add_argument("--scan-state", default=None, metavar="DIR",
+                        help="state directory of the streaming scan "
+                             "(per-tile verdicts + resume cursor; "
+                             "default: no persistence)")
+    parser.add_argument("--incremental",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="replay unchanged tiles from --scan-state "
+                             "instead of re-scoring them (default on)")
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="write crash-safe run checkpoints to this "
                              "directory (default: no checkpointing)")
@@ -169,6 +193,8 @@ def detect_main(argv=None) -> int:
         chunk_size=max(args.chunk_size, 1),
         workers=max(args.workers, 0),
         disk_cache_dir=args.feature_cache,
+        disk_cache_shards=max(args.cache_shards, 0),
+        max_disk_cache_bytes=args.max_cache_bytes,
         task_timeout=args.stage_timeout,
         precision=args.precision,
     )
@@ -261,7 +287,42 @@ def detect_main(argv=None) -> int:
               f"({result.guard['n_alerts']} alerts, "
               f"{result.guard['n_recoveries']} recoveries)")
 
-    if args.report:
+    scan_report = None
+    if args.tile_size > 0:
+        from ..dataplane.stream import StreamConfig, scan_layout
+
+        print(f"\nstreaming full-chip scan ({args.tile_size} clips per "
+              f"tile edge, {args.shards} shard(s))...")
+        scan_report = scan_layout(
+            layout,
+            clip_size,
+            core_margin,
+            classifier=framework.classifier,
+            temperature=framework.final_temperature_,
+            extractor=extractor,
+            dataplane=plane_cfg,
+            stream=StreamConfig(
+                tile_clips=args.tile_size,
+                shards=max(args.shards, 1),
+                state_dir=args.scan_state,
+                incremental=args.incremental,
+            ),
+            bus=bus,
+        )
+        print(f"scan: {scan_report.n_hotspots} hotspot windows in "
+              f"{scan_report.n_clips} clips over {scan_report.n_tiles} "
+              f"tiles ({scan_report.replayed_tiles} replayed, "
+              f"{scan_report.rescored_tiles} scored)")
+
+    if args.report and scan_report is not None:
+        lines = ["# detected hotspot clip windows (x0 y0 x1 y1)"]
+        for hotspot in scan_report.hotspots:
+            lines.append("%d %d %d %d  # p=%.4f" % (
+                *hotspot["window"], hotspot["score"]))
+        with open(args.report, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"report written to {args.report}")
+    elif args.report:
         lines = ["# detected hotspot clip windows (x0 y0 x1 y1)"]
         labeled_arr = result.labeled if result.labeled is not None else []
         labeled = set(int(i) for i in labeled_arr)

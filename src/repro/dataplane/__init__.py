@@ -18,6 +18,11 @@ the AL framework's labelers and the bench harness:
 * :class:`DataPlaneConfig` — chunk size, worker count, executor flavour
   and cache-tier sizing in one value (also embedded in
   :class:`~repro.core.framework.FrameworkConfig`).
+* :class:`StreamScanner` / :func:`scan_layout` — tiled streaming
+  full-chip detection over a :class:`~repro.layout.tiles.TileGrid`:
+  sharded work-stealing tile scheduling, per-tile verdict persistence,
+  crash resume and incremental re-detection after layout edits (see
+  :mod:`repro.dataplane.stream`).
 
 Every request reports ``features_extracted`` / ``labels_computed``
 events with cache hit/miss counts on an optional
@@ -28,6 +33,15 @@ from .cache import CacheStats, FeatureCache, feature_key
 from .config import EXECUTORS, DataPlaneConfig
 from .extract import BatchFeatureExtractor, FeatureBatch
 from .pool import chunked, imap_chunks, map_chunks
+from .stream import (
+    ScanReport,
+    ShardScheduler,
+    StreamConfig,
+    StreamScanner,
+    TileVerdictStore,
+    model_score_fn,
+    scan_layout,
+)
 
 __all__ = [
     "BatchFeatureExtractor",
@@ -40,4 +54,11 @@ __all__ = [
     "chunked",
     "imap_chunks",
     "map_chunks",
+    "ScanReport",
+    "ShardScheduler",
+    "StreamConfig",
+    "StreamScanner",
+    "TileVerdictStore",
+    "model_score_fn",
+    "scan_layout",
 ]

@@ -14,6 +14,18 @@ Two tiers:
 * **disk** — optional ``.npz`` files under ``disk_dir``; survives the
   process, so repeated bench runs and CLI invocations skip re-encoding
   entirely.  Disk hits are promoted into the memory tier.
+
+The disk tier scales to full-chip streaming scans:
+
+* **sharding** — with ``disk_shards > 0`` entries spread over
+  ``shard-XX/`` subdirectories keyed by the content-hash prefix of the
+  key, so millions of entries never pile into one directory (flat
+  legacy entries remain readable).
+* **byte budget** — ``max_disk_bytes`` bounds the tier; per-entry sizes
+  are tracked in an LRU index and the oldest entries are evicted (one
+  ``cache_evicted`` event each) when an insert would overflow the
+  budget.  :meth:`compact` reclaims leftover temp files and re-applies
+  the budget offline.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from __future__ import annotations
 import os
 import tempfile
 import zipfile
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,6 +64,13 @@ class CacheStats:
     #: corrupt disk entries detected and quarantined (each also counts
     #: as a miss)
     corrupt: int = 0
+    #: disk-tier entries evicted to honour ``max_disk_bytes``
+    disk_evictions: int = 0
+    #: bytes reclaimed by disk-tier eviction (cumulative)
+    evicted_bytes: int = 0
+    #: bytes currently resident in the disk tier (kept in step with the
+    #: cache's per-entry size index)
+    disk_bytes: int = 0
 
     @property
     def hits(self) -> int:
@@ -65,6 +85,9 @@ class CacheStats:
             "puts": self.puts,
             "evictions": self.evictions,
             "corrupt": self.corrupt,
+            "disk_evictions": self.disk_evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "disk_bytes": self.disk_bytes,
         }
 
 
@@ -74,32 +97,103 @@ class FeatureCache:
 
     ``memory_items == 0`` disables the memory tier; ``disk_dir is None``
     disables the disk tier.  A fully disabled cache is valid and simply
-    misses everything.
+    misses everything.  ``disk_shards > 0`` spreads disk entries over
+    that many subdirectories (content-hash-prefix keyed);
+    ``max_disk_bytes`` bounds the disk tier with LRU eviction.
     """
 
     memory_items: int = 1024
     disk_dir: str | os.PathLike | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     #: optional event bus receiving one ``cache_corrupt`` event per
-    #: quarantined disk entry
+    #: quarantined disk entry and one ``cache_evicted`` event per
+    #: budget-evicted entry
     bus: "EventBus | None" = None
+    #: shard subdirectories of the disk tier (0 = flat legacy layout)
+    disk_shards: int = 0
+    #: byte budget of the disk tier (None = unbounded)
+    max_disk_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.memory_items < 0:
             raise ValueError(
                 f"memory_items must be >= 0, got {self.memory_items}"
             )
+        if self.disk_shards < 0:
+            raise ValueError(
+                f"disk_shards must be >= 0, got {self.disk_shards}"
+            )
+        if self.max_disk_bytes is not None and self.max_disk_bytes <= 0:
+            raise ValueError(
+                "max_disk_bytes must be positive or None, got "
+                f"{self.max_disk_bytes}"
+            )
         self._memory: OrderedDict[str, np.ndarray] = OrderedDict()
+        #: key -> on-disk bytes, LRU-ordered (oldest first); the single
+        #: source of truth for the byte budget
+        self._disk_index: OrderedDict[str, int] = OrderedDict()
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self._scan_disk()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._memory)
 
+    def _shard_of(self, key: str) -> int:
+        """Shard number from the content-hash prefix of ``key`` (keys
+        start with the hex clip digest; non-hex keys fall back to a
+        CRC so arbitrary keys still shard deterministically)."""
+        try:
+            return int(key[:8], 16) % self.disk_shards
+        except ValueError:
+            return zlib.crc32(key.encode()) % self.disk_shards
+
     def _disk_path(self, key: str) -> Path:
-        return Path(self.disk_dir) / f"{key}.npz"
+        root = Path(self.disk_dir)  # type: ignore[arg-type]
+        if self.disk_shards > 0:
+            root = root / f"shard-{self._shard_of(key):02x}"
+        return root / f"{key}.npz"
+
+    def _lookup_path(self, key: str) -> Path | None:
+        """The existing on-disk file of ``key``, honouring both sharded
+        and flat legacy placement; ``None`` when absent."""
+        path = self._disk_path(key)
+        if path.exists():
+            return path
+        if self.disk_shards > 0:
+            flat = Path(self.disk_dir) / f"{key}.npz"  # type: ignore[arg-type]
+            if flat.exists():
+                return flat
+        return None
+
+    def _scan_disk(self) -> None:
+        """Build the size/LRU index of pre-existing disk entries
+        (oldest modification first, so eviction drops stale runs)."""
+        root = Path(self.disk_dir)  # type: ignore[arg-type]
+        entries = []
+        for path in root.glob("*.npz"):
+            entries.append(path)
+        for path in root.glob("shard-*/*.npz"):
+            entries.append(path)
+        records = []
+        for path in entries:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted by a concurrent process mid-scan
+            records.append((stat.st_mtime_ns, path.stem, stat.st_size))
+        records.sort()
+        self._disk_index.clear()
+        for _, key, size in records:
+            self._disk_index[key] = size
+        self.stats.disk_bytes = sum(self._disk_index.values())
+
+    @property
+    def disk_bytes(self) -> int:
+        """Bytes currently accounted to the disk tier."""
+        return self.stats.disk_bytes
 
     def get(self, key: str) -> np.ndarray | None:
         """The cached array for ``key``, or ``None`` on a miss.
@@ -112,8 +206,8 @@ class FeatureCache:
             self.stats.memory_hits += 1
             return self._memory[key]
         if self.disk_dir is not None:
-            path = self._disk_path(key)
-            if path.exists():
+            path = self._lookup_path(key)
+            if path is not None:
                 try:
                     with np.load(path, allow_pickle=False) as archive:
                         array = archive["data"]
@@ -124,6 +218,8 @@ class FeatureCache:
                     self.stats.misses += 1
                     return None
                 self.stats.disk_hits += 1
+                if key in self._disk_index:
+                    self._disk_index.move_to_end(key)
                 self._store_memory(key, array)
                 return array
         self.stats.misses += 1
@@ -136,10 +232,11 @@ class FeatureCache:
         self._store_memory(key, array)
         if self.disk_dir is not None:
             path = self._disk_path(key)
-            if not path.exists():
+            if self._lookup_path(key) is None:
+                path.parent.mkdir(parents=True, exist_ok=True)
                 # atomic publish: concurrent writers race benignly
                 fd, tmp = tempfile.mkstemp(
-                    dir=str(self.disk_dir), suffix=".tmp"
+                    dir=str(path.parent), suffix=".tmp"
                 )
                 try:
                     with os.fdopen(fd, "wb") as handle:
@@ -148,6 +245,85 @@ class FeatureCache:
                 except OSError:
                     if os.path.exists(tmp):
                         os.unlink(tmp)
+                    return
+                self._account_disk_entry(key, path)
+                self._evict_disk()
+
+    def _account_disk_entry(self, key: str, path: Path) -> None:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return  # concurrently evicted/removed; nothing to account
+        if key in self._disk_index:
+            self.stats.disk_bytes -= self._disk_index[key]
+        self._disk_index[key] = size
+        self._disk_index.move_to_end(key)
+        self.stats.disk_bytes += size
+
+    def _evict_disk(self) -> None:
+        """Drop least-recently-used disk entries until the tier fits
+        the byte budget (one ``cache_evicted`` event per entry)."""
+        if self.max_disk_bytes is None:
+            return
+        while (
+            self.stats.disk_bytes > self.max_disk_bytes
+            and len(self._disk_index) > 1
+        ):
+            key, size = self._disk_index.popitem(last=False)
+            path = self._lookup_path(key)
+            if path is not None:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # concurrent removal; the accounting stands
+            self.stats.disk_bytes -= size
+            self.stats.disk_evictions += 1
+            self.stats.evicted_bytes += size
+            if self.bus is not None:
+                self.bus.emit(
+                    "cache_evicted",
+                    key=key,
+                    bytes=size,
+                    disk_bytes=self.stats.disk_bytes,
+                    max_disk_bytes=self.max_disk_bytes,
+                )
+
+    def compact(self, max_bytes: int | None = None) -> dict:
+        """Offline maintenance of the disk tier.
+
+        Removes leftover ``*.tmp`` files from interrupted writes,
+        rebuilds the size/LRU index from disk, and re-applies the byte
+        budget (``max_bytes`` overrides ``max_disk_bytes`` for this
+        pass).  Returns a report dict; a no-disk cache compacts to an
+        empty report.
+        """
+        report = {
+            "removed_tmp": 0,
+            "disk_evictions_before": self.stats.disk_evictions,
+            "disk_bytes": 0,
+            "entries": 0,
+        }
+        if self.disk_dir is None:
+            return report
+        root = Path(self.disk_dir)
+        for tmp in list(root.glob("*.tmp")) + list(root.glob("shard-*/*.tmp")):
+            try:
+                tmp.unlink()
+                report["removed_tmp"] += 1
+            except OSError:
+                pass
+        self._scan_disk()
+        budget = max_bytes if max_bytes is not None else self.max_disk_bytes
+        if budget is not None:
+            original = self.max_disk_bytes
+            self.max_disk_bytes = budget
+            try:
+                self._evict_disk()
+            finally:
+                self.max_disk_bytes = original
+        report["disk_bytes"] = self.stats.disk_bytes
+        report["entries"] = len(self._disk_index)
+        return report
 
     def _quarantine(self, key: str, path: Path) -> None:
         """Delete a corrupt disk entry and account for it."""
@@ -156,6 +332,8 @@ class FeatureCache:
             path.unlink()
         except OSError:
             pass  # concurrent repair/removal; the count still stands
+        if key in self._disk_index:
+            self.stats.disk_bytes -= self._disk_index.pop(key)
         if self.bus is not None:
             self.bus.emit("cache_corrupt", key=key, path=str(path))
 
@@ -173,4 +351,4 @@ class FeatureCache:
     def clear(self) -> None:
         """Drop the memory tier and reset counters (disk is kept)."""
         self._memory.clear()
-        self.stats = CacheStats()
+        self.stats = CacheStats(disk_bytes=sum(self._disk_index.values()))

@@ -39,6 +39,13 @@ class DataPlaneConfig:
     disk_cache_dir:
         Directory of the on-disk ``.npz`` tier; ``None`` (default)
         disables it.
+    disk_cache_shards:
+        Shard subdirectories of the disk tier (0 = flat layout); see
+        :class:`~repro.dataplane.cache.FeatureCache`.  Full-chip scans
+        should shard so entry counts per directory stay bounded.
+    max_disk_cache_bytes:
+        Byte budget of the disk tier with LRU eviction (``None`` =
+        unbounded, the legacy behaviour).
     task_timeout:
         Watchdog deadline in seconds for each pooled chunk; a chunk
         that does not answer in time is cancelled and re-run serially
@@ -56,6 +63,8 @@ class DataPlaneConfig:
     executor: str = "thread"
     memory_cache_items: int = 1024
     disk_cache_dir: str | None = None
+    disk_cache_shards: int = 0
+    max_disk_cache_bytes: int | None = None
     task_timeout: float | None = None
     precision: str = "exact"
 
@@ -74,6 +83,18 @@ class DataPlaneConfig:
             raise ValueError(
                 "memory_cache_items must be >= 0, got "
                 f"{self.memory_cache_items}"
+            )
+        if self.disk_cache_shards < 0:
+            raise ValueError(
+                "disk_cache_shards must be >= 0, got "
+                f"{self.disk_cache_shards}"
+            )
+        if self.max_disk_cache_bytes is not None and (
+            self.max_disk_cache_bytes <= 0
+        ):
+            raise ValueError(
+                "max_disk_cache_bytes must be positive or None, got "
+                f"{self.max_disk_cache_bytes}"
             )
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError(

@@ -37,7 +37,7 @@ from ..engine.events import EventBus
 from ..features.pipeline import FeatureExtractor
 from .cache import FeatureCache, feature_key
 from .config import DataPlaneConfig
-from .pool import map_chunks
+from .pool import imap_chunks
 
 __all__ = ["BatchFeatureExtractor", "FeatureBatch"]
 
@@ -101,6 +101,8 @@ class BatchFeatureExtractor:
             else FeatureCache(
                 memory_items=self.config.memory_cache_items,
                 disk_dir=self.config.disk_cache_dir,
+                disk_shards=self.config.disk_cache_shards,
+                max_disk_bytes=self.config.max_disk_cache_bytes,
                 bus=bus,
             )
         )
@@ -151,6 +153,34 @@ class BatchFeatureExtractor:
         """Tensors *and* flats from a single raster pass per clip."""
         return self._gather(clips, want_flat=True)
 
+    def iter_extract(self, clips, want_flat: bool = True, batch_clips: int | None = None):
+        """Stream ``(clips, FeatureBatch)`` pairs over any clip iterable.
+
+        The full-chip streaming path: ``clips`` may be a lazy iterator
+        (e.g. :meth:`repro.layout.tiles.TileGrid.iter_clips`) and is
+        consumed in bounded batches of ``batch_clips`` (default
+        ``chunk_size * max(workers, 1)``, so a pooled plane keeps every
+        worker busy per batch) — at no point is the whole feature stack
+        materialized.  Each yielded batch went through the same cached,
+        deduped, optionally pooled path as :meth:`extract`, so per-clip
+        outputs are bit-identical to an eager call; each batch emits its
+        own ``features_extracted`` event.
+        """
+        if batch_clips is None:
+            batch_clips = self.config.chunk_size * max(self.config.workers, 1)
+        if batch_clips <= 0:
+            raise ValueError(
+                f"batch_clips must be positive, got {batch_clips}"
+            )
+        pending: list = []
+        for clip in clips:
+            pending.append(clip)
+            if len(pending) >= batch_clips:
+                yield pending, self._gather(pending, want_flat)
+                pending = []
+        if pending:
+            yield pending, self._gather(pending, want_flat)
+
     # ------------------------------------------------------------------
     def _gather(self, clips, want_flat: bool) -> FeatureBatch:
         started = time.perf_counter()
@@ -185,11 +215,13 @@ class BatchFeatureExtractor:
             else:
                 pending[key] = pos
 
-        # encode the misses in chunks, optionally in parallel
+        # encode the misses in chunks, optionally in parallel; the lazy
+        # iterator commits each chunk to the cache as it completes, so a
+        # mid-request failure keeps the chunks already paid for
         cfg = self.config
         miss_keys = list(pending)
         miss_clips = [clips[pending[key]] for key in miss_keys]
-        chunk_results = map_chunks(
+        chunk_results = imap_chunks(
             partial(_encode_chunk, extractor=fx, want_flat=want_flat),
             miss_clips,
             chunk_size=cfg.chunk_size,
@@ -199,7 +231,9 @@ class BatchFeatureExtractor:
             on_timeout=self._watchdog_fired,
         )
         cursor = 0
+        n_chunks = 0
         for chunk_tensors, chunk_flats in chunk_results:
+            n_chunks += 1
             for i in range(len(chunk_tensors)):
                 key = miss_keys[cursor]
                 pos = pending[key]
@@ -228,7 +262,7 @@ class BatchFeatureExtractor:
                 cache_hits=cache_hits,
                 cache_misses=len(pending),
                 deduped=n - len(positions),
-                chunks=len(chunk_results),
+                chunks=n_chunks,
                 chunk_size=cfg.chunk_size,
                 workers=cfg.workers,
                 kinds=["tensor", "flat"] if want_flat else ["tensor"],

@@ -49,6 +49,7 @@ __all__ = [
     "checkpoint_paths",
     "save_checkpoint",
     "load_checkpoint",
+    "ScanCursor",
     "posterior_array",
     "scaler_arrays",
 ]
@@ -256,3 +257,80 @@ def load_checkpoint(path) -> RunCheckpoint:
         arrays=arrays,
         version=int(manifest["version"]),
     )
+
+
+# ----------------------------------------------------------------------
+# streaming-scan cursor
+# ----------------------------------------------------------------------
+class ScanCursor:
+    """Resumable progress marker of a tiled streaming scan.
+
+    A full-chip scan (:class:`repro.dataplane.stream.StreamScanner`)
+    completes tiles one at a time; the cursor records, per finished
+    tile, the content digest its verdicts were computed from.  A killed
+    scan restarted against the same cursor skips every completed tile
+    whose geometry is unchanged — the same replay rule incremental
+    re-detection uses after a layout edit.
+
+    The cursor carries the lattice ``fingerprint``
+    (:meth:`repro.layout.tiles.TileGrid.fingerprint`): a cursor written
+    under a different die/window/tiling is ignored rather than
+    misapplied.  Saves are atomic (``*.tmp`` + :func:`os.replace`), so
+    a crash mid-save leaves the previous cursor intact.
+    """
+
+    def __init__(self, path, fingerprint: dict) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        #: tile key -> content digest of the completed tile
+        self.done: dict[str, str] = {}
+
+    @classmethod
+    def load(cls, path, fingerprint: dict) -> "ScanCursor":
+        """The cursor at ``path``, resumed when present and its
+        fingerprint matches; a fresh cursor otherwise (an unreadable or
+        mismatched file is abandoned, not an error)."""
+        cursor = cls(path, fingerprint)
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return cursor
+        if (
+            not isinstance(payload, dict)
+            or payload.get("fingerprint") != fingerprint
+            or not isinstance(payload.get("done"), dict)
+        ):
+            return cursor
+        cursor.done = {
+            str(key): str(digest)
+            for key, digest in payload["done"].items()
+        }
+        return cursor
+
+    def is_done(self, key: str, digest: str) -> bool:
+        """``True`` when ``key`` completed with exactly this digest."""
+        return self.done.get(key) == digest
+
+    def mark(self, key: str, digest: str) -> None:
+        self.done[key] = digest
+
+    def save(self) -> Path:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(
+                {"fingerprint": self.fingerprint, "done": self.done},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        _atomic_replace(tmp, self.path)
+        return self.path
+
+    def reset(self) -> None:
+        """Forget all progress and remove the on-disk cursor."""
+        self.done = {}
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

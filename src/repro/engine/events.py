@@ -57,6 +57,24 @@ labelers rather than the framework stages):
 ``cache_corrupt``
     ``key, path`` — a corrupt on-disk feature-cache entry was detected
     and quarantined (deleted); the read is counted as a miss.
+``cache_evicted``
+    ``key, bytes, disk_bytes, max_disk_bytes`` — the disk tier evicted
+    its least-recently-used entry to stay inside the byte budget.
+
+Streaming-scan events (see :mod:`repro.dataplane.stream`):
+
+``scan_started``
+    ``layout, n_tiles, n_windows, tile_clips, shards, incremental`` —
+    once at the top of a tiled full-chip scan.
+``tile_scanned``
+    ``tile, n_clips, n_hotspots, replayed, tiles_done, n_tiles,
+    tile_seconds`` — one per completed tile (``replayed`` tiles served
+    their verdicts from the tile store instead of re-scoring).
+``scan_completed``
+    ``n_tiles, n_clips, n_hotspots, replayed_tiles, rescored_tiles,
+    replayed_clips, rescored_clips, steals, scan_seconds`` — once after
+    the last tile; the summary half of a
+    :class:`~repro.dataplane.stream.ScanReport`.
 
 Run-health events (see :mod:`repro.engine.guard`):
 
@@ -106,6 +124,10 @@ EVENT_KINDS = (
     "features_extracted",
     "labels_computed",
     "cache_corrupt",
+    "cache_evicted",
+    "scan_started",
+    "tile_scanned",
+    "scan_completed",
     "health_alert",
     "recovery_applied",
     "degraded_mode",
@@ -293,6 +315,35 @@ class ProgressPrinter:
         elif event.kind == "cache_corrupt":
             line = (
                 f"  cache: quarantined corrupt entry {payload['key']}"
+            )
+        elif event.kind == "cache_evicted":
+            line = (
+                f"  cache: evicted {payload['key']} "
+                f"({payload['bytes']} B; tier at "
+                f"{payload['disk_bytes']}/{payload['max_disk_bytes']} B)"
+            )
+        elif event.kind == "scan_started":
+            line = (
+                f"scan {payload['layout']}: {payload['n_tiles']} tiles "
+                f"({payload['n_windows']} windows, "
+                f"{payload['shards']} shards"
+                f"{', incremental' if payload['incremental'] else ''})"
+            )
+        elif event.kind == "tile_scanned":
+            line = (
+                f"  tile {payload['tile']} "
+                f"[{payload['tiles_done']}/{payload['n_tiles']}]: "
+                f"{payload['n_clips']} clips, "
+                f"{payload['n_hotspots']} hotspots"
+                f"{' (replayed)' if payload['replayed'] else ''}"
+            )
+        elif event.kind == "scan_completed":
+            line = (
+                f"scan done: {payload['n_hotspots']} hotspots in "
+                f"{payload['n_clips']} clips over {payload['n_tiles']} "
+                f"tiles ({payload['replayed_tiles']} replayed, "
+                f"{payload['rescored_tiles']} scored, "
+                f"{payload['scan_seconds']:.1f}s)"
             )
         elif event.kind == "health_alert":
             line = (

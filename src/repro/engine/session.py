@@ -87,6 +87,35 @@ class InferenceSession:
             self._slice(indices), prescaled=True
         )
 
+    def iter_logits(
+        self,
+        indices: np.ndarray | None = None,
+        batch: int | None = None,
+    ):
+        """Stream ``(row_indices, logits)`` pairs in bounded batches.
+
+        The detection stage consumes this instead of one monolithic
+        :meth:`logits` call so full-pool scans hold at most ``batch``
+        rows of logits at a time.  ``batch`` of ``None`` or ``0`` yields
+        everything in a single batch — that path is **bit-identical**
+        to :meth:`logits` (batched BLAS sweeps may differ in the last
+        ulp between blockings, so the one-batch default keeps
+        resumed/guarded runs exactly reproducible).
+        """
+        rows = (
+            np.arange(len(self.tensors))
+            if indices is None
+            else np.asarray(indices)
+        )
+        if not batch:
+            yield rows, self.logits(rows)
+            return
+        if batch < 0:
+            raise ValueError(f"batch must be >= 0, got {batch}")
+        for start in range(0, len(rows), batch):
+            part = rows[start : start + batch]
+            yield part, self.logits(part)
+
     def predict_full(
         self, indices: np.ndarray | None = None, normalize: bool = True
     ) -> FullPrediction:

@@ -8,6 +8,7 @@ from .glp import load_layout, save_layout
 from .layout import Layout
 from .polygon import RectilinearPolygon
 from .raster import rasterize, rasterize_binary
+from .tiles import Tile, TileGrid
 from .transforms import (
     ORIENTATIONS,
     transform_clip,
@@ -25,6 +26,8 @@ __all__ = [
     "Clip",
     "extract_clip",
     "extract_clip_grid",
+    "Tile",
+    "TileGrid",
     "rasterize",
     "rasterize_binary",
     "save_layout",

@@ -1,0 +1,284 @@
+"""Tiled lazy clip iteration over a full-chip :class:`Layout`.
+
+``extract_clip_grid`` materializes every clip of a chip at once — fine
+for benchmark-sized dies, fatal for full-chip scans where the window
+count runs into the millions.  A :class:`TileGrid` partitions the same
+clip-window lattice into rectangular *tiles* of a few windows per edge
+and iterates the clips of one tile at a time straight off the layout's
+bucket index (:meth:`~repro.layout.layout.Layout.query_clipped`), so a
+scan holds one tile's worth of geometry and features in memory instead
+of the whole chip.
+
+Tiles are also the unit of **incremental re-detection**: every tile has
+a content digest folded from the
+:meth:`~repro.layout.clip.Clip.content_key` of its clips, and a
+*manifest* maps tile keys to digests.  After a layout edit, comparing
+manifests tells the streaming scanner (:mod:`repro.dataplane.stream`)
+exactly which tiles must be re-extracted and re-scored; untouched tiles
+replay their cached verdicts bit-identically.
+
+Clip indices here are **grid positions** (``row * n_cols + col``), so a
+clip's identity is independent of the tiling and of how many neighbours
+are empty.  This matches ``extract_clip_grid(..., drop_empty=False)``
+ordering exactly; the ``drop_empty=True`` renumbering of the eager path
+is deliberately not reproduced (a stable index is what lets verdicts
+survive edits elsewhere on the chip).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from .clip import Clip
+from .geometry import Rect
+from .layout import Layout
+
+__all__ = ["Tile", "TileGrid"]
+
+#: digest of a tile with no geometry at all (stable sentinel, so empty
+#: tiles compare equal across manifests without hashing anything)
+EMPTY_TILE_DIGEST = "empty"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangular block of clip windows.
+
+    ``rows``/``cols`` are half-open ranges into the chip-wide window
+    lattice; ``region`` is the union of the member windows in absolute
+    nm (margins included), which is what a spatial query for "everything
+    this tile can see" should use.
+    """
+
+    tx: int
+    ty: int
+    row0: int
+    row1: int
+    col0: int
+    col1: int
+    region: Rect
+
+    @property
+    def n_windows(self) -> int:
+        return (self.row1 - self.row0) * (self.col1 - self.col0)
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used by manifests, cursors and stores."""
+        return f"{self.tx:04d}_{self.ty:04d}"
+
+
+class TileGrid:
+    """The clip-window lattice of a die, partitioned into tiles.
+
+    Parameters
+    ----------
+    die:
+        Region to scan (typically ``layout.die``).
+    clip_size / core_margin / step:
+        Window geometry, identical semantics to
+        :func:`~repro.layout.clip.extract_clip_grid` (``step`` defaults
+        to the core width so cores tile without gaps).
+    tile_clips:
+        Tile edge length in clip windows.  Small tiles bound memory and
+        make incremental re-detection finer-grained; large tiles
+        amortize scheduling.
+    """
+
+    def __init__(
+        self,
+        die: Rect,
+        clip_size: int,
+        core_margin: int,
+        step: int | None = None,
+        tile_clips: int = 8,
+    ) -> None:
+        if 2 * core_margin >= clip_size:
+            raise ValueError(
+                f"core margin {core_margin} leaves no core in "
+                f"{clip_size}x{clip_size} windows"
+            )
+        if step is None:
+            step = clip_size - 2 * core_margin
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if tile_clips <= 0:
+            raise ValueError(f"tile_clips must be positive, got {tile_clips}")
+        self.die = die
+        self.clip_size = clip_size
+        self.core_margin = core_margin
+        self.step = step
+        self.tile_clips = tile_clips
+        # windows fully inside the die, same placement rule as the
+        # eager grid: x0 = die.x0 + col*step while x0 + clip_size <= x1
+        self.n_cols = self._axis_count(die.x0, die.x1)
+        self.n_rows = self._axis_count(die.y0, die.y1)
+
+    @classmethod
+    def for_layout(
+        cls,
+        layout: Layout,
+        clip_size: int,
+        core_margin: int,
+        step: int | None = None,
+        tile_clips: int = 8,
+    ) -> "TileGrid":
+        return cls(layout.die, clip_size, core_margin, step, tile_clips)
+
+    def _axis_count(self, lo: int, hi: int) -> int:
+        span = hi - lo
+        if span < self.clip_size:
+            return 0
+        return (span - self.clip_size) // self.step + 1
+
+    # ------------------------------------------------------------------
+    # lattice geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        """Total clip windows on the chip (empty or not)."""
+        return self.n_rows * self.n_cols
+
+    @property
+    def n_tile_cols(self) -> int:
+        return -(-self.n_cols // self.tile_clips) if self.n_cols else 0
+
+    @property
+    def n_tile_rows(self) -> int:
+        return -(-self.n_rows // self.tile_clips) if self.n_rows else 0
+
+    @property
+    def n_tiles(self) -> int:
+        return self.n_tile_rows * self.n_tile_cols
+
+    def window(self, row: int, col: int) -> Rect:
+        """Absolute window rect of lattice position ``(row, col)``."""
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise IndexError(
+                f"window ({row}, {col}) outside "
+                f"{self.n_rows}x{self.n_cols} lattice"
+            )
+        x = self.die.x0 + col * self.step
+        y = self.die.y0 + row * self.step
+        return Rect(x, y, x + self.clip_size, y + self.clip_size)
+
+    def clip_index(self, row: int, col: int) -> int:
+        """Chip-global clip index of lattice position ``(row, col)``."""
+        return row * self.n_cols + col
+
+    def tile(self, tx: int, ty: int) -> Tile:
+        """The tile at tile coordinates ``(tx, ty)``."""
+        if not (0 <= tx < self.n_tile_cols and 0 <= ty < self.n_tile_rows):
+            raise IndexError(
+                f"tile ({tx}, {ty}) outside "
+                f"{self.n_tile_rows}x{self.n_tile_cols} tiling"
+            )
+        col0 = tx * self.tile_clips
+        row0 = ty * self.tile_clips
+        col1 = min(col0 + self.tile_clips, self.n_cols)
+        row1 = min(row0 + self.tile_clips, self.n_rows)
+        first = self.window(row0, col0)
+        last = self.window(row1 - 1, col1 - 1)
+        return Tile(
+            tx=tx,
+            ty=ty,
+            row0=row0,
+            row1=row1,
+            col0=col0,
+            col1=col1,
+            region=Rect(first.x0, first.y0, last.x1, last.y1),
+        )
+
+    def tiles(self) -> list[Tile]:
+        """Every tile, row-major (the scan order of the lattice)."""
+        return [
+            self.tile(tx, ty)
+            for ty in range(self.n_tile_rows)
+            for tx in range(self.n_tile_cols)
+        ]
+
+    # ------------------------------------------------------------------
+    # lazy clip extraction
+    # ------------------------------------------------------------------
+    def iter_windows(self, tile: Tile) -> Iterator[tuple[int, Rect]]:
+        """``(clip_index, window)`` pairs of one tile, row-major."""
+        for row in range(tile.row0, tile.row1):
+            for col in range(tile.col0, tile.col1):
+                yield self.clip_index(row, col), self.window(row, col)
+
+    def iter_clips(
+        self, layout: Layout, tile: Tile, drop_empty: bool = True
+    ) -> Iterator[Clip]:
+        """Lazily cut the clips of ``tile`` from ``layout``.
+
+        Each window is served straight from the layout's bucket index;
+        nothing outside the tile is touched.  ``drop_empty`` skips
+        windows with no geometry (their index is *not* reused — see the
+        module docstring on stable grid indices).
+        """
+        core_margin = self.core_margin
+        for index, window in self.iter_windows(tile):
+            rects = layout.query_clipped(window)
+            if not rects and drop_empty:
+                continue
+            yield Clip(
+                window=window,
+                core=window.expanded(-core_margin),
+                rects=rects,
+                layout_name=layout.name,
+                index=index,
+            )
+
+    # ------------------------------------------------------------------
+    # content digests (incremental re-detection)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def digest_clips(clips: list[Clip]) -> str:
+        """Content digest of one tile's clips.
+
+        Folds ``index:content_key`` per clip so both the geometry and
+        its lattice placement are covered; a tile whose clips merely
+        shifted windows therefore re-scores.  An empty tile digests to
+        the :data:`EMPTY_TILE_DIGEST` sentinel.
+        """
+        if not clips:
+            return EMPTY_TILE_DIGEST
+        folded = hashlib.sha256()
+        for clip in clips:
+            folded.update(f"{clip.index}:{clip.content_key()}\n".encode())
+        return folded.hexdigest()[:32]
+
+    def tile_digest(self, layout: Layout, tile: Tile) -> str:
+        """Digest of ``tile`` computed directly from ``layout``."""
+        return self.digest_clips(list(self.iter_clips(layout, tile)))
+
+    def manifest(self, layout: Layout) -> dict[str, str]:
+        """``tile.key -> digest`` for the whole chip.
+
+        Comparing two manifests yields the tile set to re-detect after
+        a layout edit; everything else replays.
+        """
+        return {
+            tile.key: self.tile_digest(layout, tile)
+            for tile in self.tiles()
+        }
+
+    def fingerprint(self) -> dict:
+        """Lattice identity a scan cursor/manifest must match to be
+        replayable (die placement, window geometry and tiling)."""
+        return {
+            "die": list(self.die.as_tuple()),
+            "clip_size": self.clip_size,
+            "core_margin": self.core_margin,
+            "step": self.step,
+            "tile_clips": self.tile_clips,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TileGrid({self.n_rows}x{self.n_cols} windows, "
+            f"{self.n_tile_rows}x{self.n_tile_cols} tiles of "
+            f"{self.tile_clips})"
+        )

@@ -61,6 +61,32 @@ class TestDetect:
         assert detect_main(["/nonexistent.glp"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_streaming_scan_flags(self, small_glp, tmp_path, capsys):
+        report = tmp_path / "hotspots.txt"
+        state = tmp_path / "scan-state"
+        argv = [small_glp, "--iterations", "2", "--batch", "10",
+                "--init-train", "20", "--val-size", "16",
+                "--seed", "0", "--tile-size", "4", "--shards", "2",
+                "--scan-state", str(state),
+                "--feature-cache", str(tmp_path / "fc"),
+                "--cache-shards", "2",
+                "--report", str(report)]
+        assert detect_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "streaming full-chip scan" in out
+        assert (state / "cursor.json").exists()
+        assert (state / "manifest.json").exists()
+        assert report.read_text().startswith("# detected hotspot")
+        assert list((tmp_path / "fc").glob("shard-*"))
+        # second run replays every tile from the scan state
+        assert detect_main(argv) == 0
+        out = capsys.readouterr().out
+        scan_line = next(
+            line for line in out.splitlines()
+            if line.startswith("scan:")
+        )
+        assert "0 scored" in scan_line
+
     def test_gds_input_with_svg_output(self, tmp_path, capsys):
         from repro.data.synth import EUV_RULES, generate_layout
         from repro.layout import save_gds

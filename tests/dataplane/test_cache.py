@@ -1,6 +1,7 @@
 """Tests for the content-addressed two-tier feature cache."""
 
 import numpy as np
+import pytest
 
 from repro.dataplane import FeatureCache, feature_key
 from repro.layout import Clip, Rect
@@ -147,3 +148,156 @@ class TestCorruptQuarantine:
         cache = FeatureCache(disk_dir=tmp_path)
         cache.get("k")
         assert cache.stats.as_dict()["corrupt"] == 1
+
+
+class TestShardedDisk:
+    def test_entries_land_in_shard_dirs(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path, disk_shards=4)
+        keys = [f"{i:08x}-p-tensor" for i in range(16)]
+        for key in keys:
+            cache.put(key, np.arange(4.0))
+        shard_dirs = sorted(p.name for p in tmp_path.iterdir())
+        assert all(name.startswith("shard-") for name in shard_dirs)
+        files = list(tmp_path.glob("shard-*/*.npz"))
+        assert len(files) == 16
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_shard_of_key_is_stable(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path, disk_shards=8)
+        key = "00bc614e-p-tensor"  # hex prefix 0x00bc614e
+        assert cache._shard_of(key) == 0x00BC614E % 8
+        # non-hex prefixes still shard deterministically
+        assert cache._shard_of("zzz") == cache._shard_of("zzz")
+
+    def test_flat_legacy_entries_remain_readable(self, tmp_path):
+        FeatureCache(disk_dir=tmp_path).put("aabbccdd-k", np.full(3, 7.0))
+        sharded = FeatureCache(
+            disk_dir=tmp_path, disk_shards=4, memory_items=0
+        )
+        np.testing.assert_array_equal(
+            sharded.get("aabbccdd-k"), np.full(3, 7.0)
+        )
+        assert sharded.stats.disk_hits == 1
+
+    def test_sharded_roundtrip_across_instances(self, tmp_path):
+        FeatureCache(disk_dir=tmp_path, disk_shards=4).put(
+            "0000000a-k", np.arange(5.0)
+        )
+        fresh = FeatureCache(
+            disk_dir=tmp_path, disk_shards=4, memory_items=0
+        )
+        np.testing.assert_array_equal(
+            fresh.get("0000000a-k"), np.arange(5.0)
+        )
+
+    def test_negative_shards_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FeatureCache(disk_dir=tmp_path, disk_shards=-1)
+
+
+class TestDiskByteBudget:
+    def entry_size(self, tmp_path):
+        probe = FeatureCache(disk_dir=tmp_path / "probe")
+        probe.put("probe", np.arange(64.0))
+        return (tmp_path / "probe" / "probe.npz").stat().st_size
+
+    def test_eviction_honours_budget(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = FeatureCache(
+            disk_dir=tmp_path, max_disk_bytes=3 * size + size // 2
+        )
+        for i in range(6):
+            cache.put(f"{i:08x}", np.arange(64.0) + i)
+        assert cache.stats.disk_evictions == 3
+        assert cache.stats.disk_bytes <= 3 * size + size // 2
+        remaining = sorted(p.stem for p in tmp_path.glob("*.npz"))
+        assert remaining == ["00000003", "00000004", "00000005"]
+
+    def test_eviction_is_lru_not_fifo(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        cache = FeatureCache(
+            disk_dir=tmp_path, memory_items=0,
+            max_disk_bytes=2 * size + size // 2,
+        )
+        cache.put("00000000", np.arange(64.0))
+        cache.put("00000001", np.arange(64.0) + 1)
+        cache.get("00000000")  # refresh: 00000001 is now the LRU entry
+        cache.put("00000002", np.arange(64.0) + 2)
+        assert sorted(p.stem for p in tmp_path.glob("*.npz")) == [
+            "00000000", "00000002",
+        ]
+
+    def test_newest_entry_never_evicted(self, tmp_path):
+        # a budget smaller than one entry must keep the latest insert
+        cache = FeatureCache(disk_dir=tmp_path, max_disk_bytes=1)
+        cache.put("00000000", np.arange(64.0))
+        assert (tmp_path / "00000000.npz").exists()
+        cache.put("00000001", np.arange(64.0))
+        assert (tmp_path / "00000001.npz").exists()
+        assert not (tmp_path / "00000000.npz").exists()
+
+    def test_emits_cache_evicted_event(self, tmp_path):
+        from repro.engine import EventBus, EventLog
+
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        size = self.entry_size(tmp_path)
+        cache = FeatureCache(
+            disk_dir=tmp_path, max_disk_bytes=size + size // 2, bus=bus
+        )
+        cache.put("00000000", np.arange(64.0))
+        cache.put("00000001", np.arange(64.0))
+        [event] = log.of_kind("cache_evicted")
+        assert event.payload["key"] == "00000000"
+        assert event.payload["bytes"] > 0
+        assert event.payload["max_disk_bytes"] == size + size // 2
+
+    def test_budget_spans_cache_instances(self, tmp_path):
+        size = self.entry_size(tmp_path)
+        first = FeatureCache(disk_dir=tmp_path)
+        for i in range(4):
+            first.put(f"{i:08x}", np.arange(64.0) + i)
+        fresh = FeatureCache(
+            disk_dir=tmp_path, max_disk_bytes=2 * size + size // 2
+        )
+        # compressed sizes vary by a few bytes per entry; the rebuilt
+        # index must account for all four (well over the budget)
+        assert fresh.stats.disk_bytes > 2 * size + size // 2
+        fresh.put("000000ff", np.arange(64.0))
+        # pre-existing oldest entries were evicted to make room
+        assert fresh.stats.disk_bytes <= 2 * size + size // 2
+
+    def test_stats_in_as_dict(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path, max_disk_bytes=1)
+        cache.put("00000000", np.arange(64.0))
+        cache.put("00000001", np.arange(64.0))
+        stats = cache.stats.as_dict()
+        assert stats["disk_evictions"] == 1
+        assert stats["evicted_bytes"] > 0
+        assert stats["disk_bytes"] > 0
+
+
+class TestCompaction:
+    def test_removes_leftover_tmp_files(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path, disk_shards=2)
+        cache.put("00000000", np.arange(4.0))
+        (tmp_path / "dead.tmp").write_bytes(b"torn")
+        (tmp_path / "shard-00").mkdir(exist_ok=True)
+        (tmp_path / "shard-00" / "dead2.tmp").write_bytes(b"torn")
+        report = cache.compact()
+        assert report["removed_tmp"] == 2
+        assert report["entries"] == 1
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_reapplies_budget_with_override(self, tmp_path):
+        cache = FeatureCache(disk_dir=tmp_path)
+        for i in range(4):
+            cache.put(f"{i:08x}", np.arange(64.0) + i)
+        before = cache.stats.disk_bytes
+        report = cache.compact(max_bytes=before // 2)
+        assert report["disk_bytes"] <= before // 2
+        assert cache.max_disk_bytes is None  # override did not stick
+
+    def test_no_disk_tier_compacts_to_empty_report(self):
+        report = FeatureCache().compact()
+        assert report["entries"] == 0

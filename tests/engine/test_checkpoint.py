@@ -9,6 +9,7 @@ from repro.engine.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
     RunCheckpoint,
+    ScanCursor,
     checkpoint_paths,
     load_checkpoint,
     posterior_array,
@@ -151,3 +152,54 @@ class TestContractedBoundaries:
     def test_scaler_arrays_keys(self):
         out = scaler_arrays(np.zeros((2, 3, 3)), np.ones((2, 3, 3)))
         assert set(out) == {"scaler/mean", "scaler/std"}
+
+
+class TestScanCursor:
+    FP = {"die": [0, 0, 4800, 3600], "clip_size": 1200,
+          "core_margin": 300, "step": 600, "tile_clips": 2}
+
+    def test_fresh_cursor_is_empty(self, tmp_path):
+        cursor = ScanCursor.load(tmp_path / "cursor.json", self.FP)
+        assert cursor.done == {}
+        assert not cursor.is_done("0000_0000", "abc")
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "cursor.json"
+        cursor = ScanCursor(path, self.FP)
+        cursor.mark("0000_0000", "d0")
+        cursor.mark("0001_0000", "d1")
+        cursor.save()
+        loaded = ScanCursor.load(path, self.FP)
+        assert loaded.done == {"0000_0000": "d0", "0001_0000": "d1"}
+        assert loaded.is_done("0000_0000", "d0")
+        assert not loaded.is_done("0000_0000", "other-digest")
+
+    def test_fingerprint_mismatch_discards_progress(self, tmp_path):
+        path = tmp_path / "cursor.json"
+        cursor = ScanCursor(path, self.FP)
+        cursor.mark("0000_0000", "d0")
+        cursor.save()
+        other = dict(self.FP, tile_clips=4)
+        assert ScanCursor.load(path, other).done == {}
+
+    def test_corrupt_file_is_a_fresh_cursor(self, tmp_path):
+        path = tmp_path / "cursor.json"
+        path.write_text("{torn write")
+        assert ScanCursor.load(path, self.FP).done == {}
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "cursor.json"
+        cursor = ScanCursor(path, self.FP)
+        cursor.mark("0000_0000", "d0")
+        cursor.save()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_reset_removes_file(self, tmp_path):
+        path = tmp_path / "cursor.json"
+        cursor = ScanCursor(path, self.FP)
+        cursor.mark("k", "d")
+        cursor.save()
+        cursor.reset()
+        assert cursor.done == {}
+        assert not path.exists()
+        assert ScanCursor.load(path, self.FP).done == {}

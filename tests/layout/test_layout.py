@@ -65,6 +65,97 @@ class TestLayoutQuery:
         assert len(layout) == 0
 
 
+class TestBucketBoundaries:
+    """Windows that straddle bucket-grid cells must behave exactly like
+    brute force — the bucket index is an accelerator, not a filter."""
+
+    def bucketed_layout(self, rects, die, bucket_nm=100):
+        return Layout(rects, die=die, bucket_nm=bucket_nm)
+
+    def test_window_straddling_bucket_edge(self):
+        # bucket_nm=100: the rect lives entirely in bucket (0, 0), the
+        # window spans buckets (0..1, 0..1)
+        layout = self.bucketed_layout(
+            [Rect(10, 10, 90, 90)], Rect(0, 0, 400, 400)
+        )
+        window = Rect(50, 50, 150, 150)
+        assert layout.query(window) == [Rect(10, 10, 90, 90)]
+        clipped = layout.query_clipped(window)
+        assert clipped == [Rect(0, 0, 40, 40)]
+
+    def test_rect_exactly_on_bucket_boundary(self):
+        # a rect ending at x=100 (the bucket edge) must not leak into
+        # bucket 1, and one starting at 100 must not appear in bucket 0
+        layout = self.bucketed_layout(
+            [Rect(0, 0, 100, 100), Rect(100, 0, 200, 100)],
+            Rect(0, 0, 400, 400),
+        )
+        left = layout.query_clipped(Rect(0, 0, 100, 100))
+        assert left == [Rect(0, 0, 100, 100)]
+        right = layout.query_clipped(Rect(100, 0, 200, 100))
+        assert right == [Rect(0, 0, 100, 100)]
+
+    def test_touching_window_edge_is_not_overlap(self):
+        # half-open rects: sharing an edge with the window is no overlap
+        layout = self.bucketed_layout(
+            [Rect(100, 100, 200, 200)], Rect(0, 0, 400, 400)
+        )
+        assert layout.query_clipped(Rect(0, 0, 100, 100)) == []
+        assert layout.query_clipped(Rect(200, 200, 300, 300)) == []
+        assert layout.density(Rect(0, 0, 100, 100)) == 0.0
+
+    def test_straddling_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        rects = []
+        for _ in range(300):
+            x0 = int(rng.integers(0, 2000))
+            y0 = int(rng.integers(0, 2000))
+            rects.append(Rect(x0, y0, x0 + int(rng.integers(5, 250)),
+                              y0 + int(rng.integers(5, 250))))
+        layout = self.bucketed_layout(rects, Rect(0, 0, 2500, 2500),
+                                      bucket_nm=128)
+        # windows deliberately aligned to and offset from the 128-nm
+        # bucket pitch, including one-past-boundary positions
+        for x0 in (0, 127, 128, 129, 255, 256, 1000):
+            window = Rect(x0, x0, x0 + 300, x0 + 300)
+            expected = sorted(
+                r.intersection(window).shifted(-window.x0, -window.y0)
+                for r in rects if r.intersects(window)
+            )
+            assert sorted(layout.query_clipped(window)) == expected
+
+    def test_window_outside_die_is_empty(self):
+        layout = self.bucketed_layout(
+            [Rect(10, 10, 90, 90)], Rect(0, 0, 400, 400)
+        )
+        assert layout.query_clipped(Rect(1000, 1000, 1200, 1200)) == []
+        assert layout.density(Rect(1000, 1000, 1200, 1200)) == 0.0
+
+    def test_density_of_straddling_window(self):
+        # one rect half inside the window, crossing a bucket edge
+        layout = self.bucketed_layout(
+            [Rect(50, 0, 150, 100)], Rect(0, 0, 400, 400)
+        )
+        assert layout.density(Rect(0, 0, 100, 100)) == pytest.approx(0.5)
+        assert layout.density(Rect(100, 0, 200, 100)) == pytest.approx(0.5)
+
+    def test_density_overlap_counted_once(self):
+        layout = self.bucketed_layout(
+            [Rect(0, 0, 100, 100), Rect(0, 0, 100, 100)],
+            Rect(0, 0, 200, 200),
+        )
+        assert layout.density(Rect(0, 0, 200, 200)) == pytest.approx(0.25)
+
+    def test_zero_area_window_rejected(self):
+        # degenerate windows cannot be constructed at all (half-open
+        # Rects require positive extent), so density can never divide
+        # by a zero window area
+        with pytest.raises(ValueError):
+            Rect(50, 50, 50, 150)
+        with pytest.raises(ValueError):
+            Rect(50, 50, 150, 50)
+
+
 class TestClipExtraction:
     def test_extract_clip_core_centered(self, simple_layout):
         clip = extract_clip(simple_layout, Rect(0, 0, 600, 600), core_margin=150)
