@@ -1,13 +1,23 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-strict lint reprolint mypy bench check
+.PHONY: test test-strict test-threads lint reprolint mypy bench check
 
 test:
 	python -m pytest -x -q
 
 test-strict:
 	REPRO_CHECK=strict python -m pytest -x -q
+
+test-threads:
+	REPRO_CHECK=strict python -m pytest \
+		tests/analysis/test_concurrency.py \
+		tests/analysis/test_interleave.py \
+		tests/dataplane/test_cache_threads.py \
+		tests/dataplane/test_stream_threads.py \
+		tests/nn/test_arena_threads.py \
+		-x -q
+	REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_concurrency.py -x -q
 
 reprolint:
 	python -m repro.analysis.lint src tests

@@ -13,6 +13,18 @@ python -m pytest -x -q
 echo "==> pytest (REPRO_CHECK=strict)"
 REPRO_CHECK=strict python -m pytest -x -q
 
+echo "==> concurrency stress suite (REPRO_CHECK=strict)"
+REPRO_CHECK=strict python -m pytest \
+    tests/analysis/test_concurrency.py \
+    tests/analysis/test_interleave.py \
+    tests/dataplane/test_cache_threads.py \
+    tests/dataplane/test_stream_threads.py \
+    tests/nn/test_arena_threads.py \
+    -x -q
+
+echo "==> concurrency bench smoke (off-mode overhead < 1%)"
+REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_concurrency.py -x -q
+
 echo "==> reprolint"
 python -m repro.analysis.lint src tests
 

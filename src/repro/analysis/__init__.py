@@ -1,19 +1,28 @@
 """Static and structural analysis for the reproduction codebase.
 
-Two halves:
+Three halves that share one switch:
 
 * **Runtime array contracts** (:mod:`repro.analysis.contracts`) — the
   :func:`contract` decorator plus :func:`check_array` validate dtype,
   rank, named-dimension consistency and finiteness at function
   boundaries, toggled by ``REPRO_CHECK={strict,warn,off}``.
-* **reprolint** (:mod:`repro.analysis.linter`) — an AST linter enforcing
-  repo-specific invariants (R001–R006): seeded-RNG discipline, float64
-  kernel invariance, registered event names, data-plane routing, no
-  mutable defaults, contract coverage.  Run it with
-  ``python -m repro.analysis.lint src tests`` or ``repro-lint``.
+* **Concurrency sanitizer** (:mod:`repro.analysis.concurrency`) —
+  :class:`TrackedLock`/:class:`TrackedRLock` detect lock-order
+  inversions and release-by-non-owner at runtime; :func:`guarded_by`
+  asserts its lock is held on attribute access.  The deterministic
+  interleaving harness (:mod:`repro.analysis.interleave`) replays
+  adversarial thread schedules so races are reproduced, not flaked.
+* **reprolint** (:mod:`repro.analysis.linter`) — an AST linter
+  enforcing repo-specific invariants: R001–R006 (seeded-RNG
+  discipline, float64 kernel invariance, registered event names,
+  data-plane routing, no mutable defaults, contract coverage) and
+  R007–R011 (guarded-attribute writes, lock hygiene, thread lifecycle,
+  blocking-under-lock, check-then-act races).  Run it with
+  ``python -m repro.analysis.lint src tests`` or ``repro-lint``;
+  ``repro-lint --list-rules`` prints every code with waiver syntax.
 
-Heavy imports are lazy (PEP 562) so the linter half stays importable in
-environments without numpy.
+Heavy imports are lazy (PEP 562) so the stdlib-only half (linter,
+sanitizer, harness) stays importable in environments without numpy.
 """
 
 from __future__ import annotations
@@ -21,6 +30,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - static import surface for mypy
+    from .concurrency import (
+        LockDisciplineError,
+        LockDisciplineWarning,
+        TrackedLock,
+        TrackedRLock,
+        guarded_by,
+        held_locks,
+        lock_order_edges,
+        reset_lock_order,
+    )
     from .contracts import (
         ContractError,
         ContractInfo,
@@ -32,6 +51,13 @@ if TYPE_CHECKING:  # pragma: no cover - static import surface for mypy
         contract_registry,
         set_check_mode,
     )
+    from .interleave import (
+        InterleaveError,
+        InterleaveScheduler,
+        ScheduleTimeout,
+        active_scheduler,
+        trace_point,
+    )
     from .linter import lint_paths, lint_source
     from .rules import Violation
     from .spec import ArraySpec, SpecError, parse_spec
@@ -41,17 +67,30 @@ __all__ = [
     "ContractError",
     "ContractInfo",
     "ContractWarning",
+    "InterleaveError",
+    "InterleaveScheduler",
+    "LockDisciplineError",
+    "LockDisciplineWarning",
+    "ScheduleTimeout",
     "SpecError",
+    "TrackedLock",
+    "TrackedRLock",
     "Violation",
+    "active_scheduler",
     "check_array",
     "check_mode",
     "checking",
     "contract",
     "contract_registry",
+    "guarded_by",
+    "held_locks",
     "lint_paths",
     "lint_source",
+    "lock_order_edges",
     "parse_spec",
+    "reset_lock_order",
     "set_check_mode",
+    "trace_point",
 ]
 
 _CONTRACT_NAMES = {
@@ -61,6 +100,15 @@ _CONTRACT_NAMES = {
 }
 _SPEC_NAMES = {"ArraySpec", "SpecError", "parse_spec"}
 _LINTER_NAMES = {"lint_paths", "lint_source"}
+_CONCURRENCY_NAMES = {
+    "LockDisciplineError", "LockDisciplineWarning", "TrackedLock",
+    "TrackedRLock", "guarded_by", "held_locks", "lock_order_edges",
+    "reset_lock_order",
+}
+_INTERLEAVE_NAMES = {
+    "InterleaveError", "InterleaveScheduler", "ScheduleTimeout",
+    "active_scheduler", "trace_point",
+}
 
 
 def __getattr__(name: str) -> Any:
@@ -76,6 +124,14 @@ def __getattr__(name: str) -> Any:
         from . import linter
 
         return getattr(linter, name)
+    if name in _CONCURRENCY_NAMES:
+        from . import concurrency
+
+        return getattr(concurrency, name)
+    if name in _INTERLEAVE_NAMES:
+        from . import interleave
+
+        return getattr(interleave, name)
     if name == "Violation":
         from .rules import Violation
 

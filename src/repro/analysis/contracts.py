@@ -33,14 +33,14 @@ from __future__ import annotations
 
 import functools
 import inspect
-import os
-import threading
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
 import numpy as np
 
+from .modes import CHECK_ENV_VAR, MODES, check_mode, checking, set_check_mode
+from .modes import _state  # shared per-thread mode (hot-path read)
 from .spec import ArraySpec, SpecError, parse_spec
 
 __all__ = [
@@ -58,9 +58,6 @@ __all__ = [
     "wrapper_code",
 ]
 
-CHECK_ENV_VAR = "REPRO_CHECK"
-MODES = ("strict", "warn", "off")
-
 F = TypeVar("F", bound=Callable[..., Any])
 
 
@@ -76,56 +73,6 @@ class ContractError(TypeError, ValueError):
 
 class ContractWarning(UserWarning):
     """An array violated its declared contract (warn mode)."""
-
-
-def _resolve_env_mode() -> str:
-    raw = os.environ.get(CHECK_ENV_VAR, "off").strip().lower()
-    if raw not in MODES:
-        raise ValueError(
-            f"{CHECK_ENV_VAR}={raw!r} is not a valid mode; "
-            f"choose one of {MODES}"
-        )
-    return raw
-
-
-class _State(threading.local):
-    """Per-thread check mode, seeded from the environment."""
-
-    def __init__(self) -> None:
-        self.mode = _resolve_env_mode()
-
-
-_state = _State()
-
-
-def check_mode() -> str:
-    """The active contract-checking mode (``strict``/``warn``/``off``)."""
-    return _state.mode
-
-
-def set_check_mode(mode: str) -> str:
-    """Set the mode for the current thread; returns the previous mode."""
-    if mode not in MODES:
-        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-    previous = _state.mode
-    _state.mode = mode
-    return previous
-
-
-class checking:
-    """Context manager pinning the check mode (``with checking("strict")``)."""
-
-    def __init__(self, mode: str) -> None:
-        self.mode = mode
-        self._previous: str | None = None
-
-    def __enter__(self) -> "checking":
-        self._previous = set_check_mode(self.mode)
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        assert self._previous is not None
-        set_check_mode(self._previous)
 
 
 # ----------------------------------------------------------------------

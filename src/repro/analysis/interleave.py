@@ -1,0 +1,282 @@
+"""Deterministic interleaving harness: replay adversarial thread schedules.
+
+Races do not belong in tests as flakes — a race that a stress test hits
+one run in fifty is a race a regression suite cannot protect.  This
+module turns a racy interleaving into a *replayable schedule*: code
+under test marks its preemption points with :func:`trace_point`, and an
+:class:`InterleaveScheduler` forces the named threads through those
+points in a scripted order, every run, on any machine.
+
+Production cost is one module-global load per :func:`trace_point` call
+(the scheduler is ``None`` outside tests — see
+``benchmarks/bench_concurrency.py`` for the measured overhead).
+
+Schedule semantics
+------------------
+
+A schedule is a sequence of entries ``(thread, label)`` — ``label`` may
+be ``None`` to match any point of that thread.  The rule:
+
+* a registered thread arriving at :func:`trace_point` **blocks while
+  any entry for it with that label remains in the schedule and is not
+  at the head**; when its entry reaches the head it is consumed;
+* the thread resumes only when *no* matching entry remains ahead of it,
+  so consecutive duplicate entries (interleaved with other threads'
+  entries) pin a thread at one point across other threads' turns;
+* points that never appear in the remaining schedule are free passes;
+  threads never registered with the scheduler pass through untouched.
+
+Two interactions keep scripted schedules from deadlocking against real
+synchronization:
+
+* **lock-blocked deferral** — a :class:`~repro.analysis.concurrency.
+  TrackedLock` tells the active scheduler when a registered thread is
+  about to block on lock acquisition; schedule entries of lock-blocked
+  threads are rotated behind runnable ones.  A schedule that reproduces
+  a race against *unsynchronized* code therefore completes cleanly once
+  the code is properly locked — the fix forces the adversarial
+  interleaving to degrade into a legal one instead of hanging the test;
+* **finish cleanup** — when a thread's callable returns, its remaining
+  entries are dropped, so a schedule written against one code path
+  cannot hang another.
+
+A schedule the threads cannot make progress on (mis-scripted order, or
+a genuine deadlock in the code under test) raises
+:class:`ScheduleTimeout` with a diagnostic of who was waiting where.
+
+Typical use::
+
+    sched = InterleaveScheduler([
+        ("reader", "cache.get.hit"),   # pause the reader mid get()
+        ("evictor", "cache.put.done"), # let a put() storm evict its key
+        ("reader", "cache.get.hit"),   # then resume the reader
+    ])
+    sched.run({"reader": do_get, "evictor": do_puts})
+    assert sched.errors == {}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "InterleaveError",
+    "InterleaveScheduler",
+    "ScheduleTimeout",
+    "active_scheduler",
+    "trace_point",
+]
+
+
+class InterleaveError(RuntimeError):
+    """The harness could not follow the scripted schedule."""
+
+
+class ScheduleTimeout(InterleaveError):
+    """No scheduled thread made progress before the deadline."""
+
+
+#: the scheduler trace points report to; None outside harness runs (the
+#: only state this module keeps at import time, so the production cost
+#: of an uninstrumented trace_point is one global load and a branch)
+_active: "InterleaveScheduler | None" = None
+
+
+def active_scheduler() -> "InterleaveScheduler | None":
+    """The scheduler currently replaying a schedule, if any."""
+    return _active
+
+
+def trace_point(label: str) -> None:
+    """Mark a preemption point; a no-op unless a scheduler is active."""
+    sched = _active
+    if sched is not None:
+        sched.visit(label)
+
+
+def _normalize(
+    schedule: Sequence[str | tuple[str, str | None]],
+) -> list[tuple[str, str | None]]:
+    entries: list[tuple[str, str | None]] = []
+    for entry in schedule:
+        if isinstance(entry, str):
+            entries.append((entry, None))
+        else:
+            name, label = entry
+            entries.append((str(name), label))
+    return entries
+
+
+class InterleaveScheduler:
+    """Replays one scripted interleaving of named threads.
+
+    Parameters
+    ----------
+    schedule:
+        Entries of ``(thread_name, point_label)``; a bare string is
+        shorthand for ``(name, None)`` (any point of that thread).
+    timeout:
+        Seconds a thread may wait at a point (and the overall
+        :meth:`run` join deadline) before :class:`ScheduleTimeout`.
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[str | tuple[str, str | None]],
+        timeout: float = 10.0,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.schedule = _normalize(schedule)
+        self.timeout = timeout
+        self._cv = threading.Condition()
+        self._names: dict[int, str] = {}
+        self._lock_blocked: set[str] = set()
+        self._finished: set[str] = set()
+        #: what each registered thread returned / raised
+        self.results: dict[str, Any] = {}
+        self.errors: dict[str, BaseException] = {}
+        #: labels visited by registered threads, in global order
+        self.trace: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # registration / lifecycle
+    # ------------------------------------------------------------------
+    def register(self, name: str) -> None:
+        """Bind the calling thread to schedule entries named ``name``."""
+        with self._cv:
+            self._names[threading.get_ident()] = name
+            self._cv.notify_all()
+
+    def finish(self, name: str) -> None:
+        """Drop ``name``'s remaining entries (its callable returned)."""
+        with self._cv:
+            self._finished.add(name)
+            self.schedule = [e for e in self.schedule if e[0] != name]
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # the point protocol
+    # ------------------------------------------------------------------
+    def _defer_unrunnable(self) -> None:
+        """Pop entries of finished threads; rotate entries of threads
+        blocked inside a tracked lock behind runnable ones (bounded, so
+        an all-blocked schedule falls through to the timeout path)."""
+        rotations = 0
+        while self.schedule:
+            name, _ = self.schedule[0]
+            if name in self._finished:
+                self.schedule.pop(0)
+                continue
+            if name in self._lock_blocked and rotations < len(self.schedule):
+                self.schedule.append(self.schedule.pop(0))
+                rotations += 1
+                continue
+            break
+
+    def _matches(self, entry: tuple[str, str | None], name: str,
+                 label: str) -> bool:
+        return entry[0] == name and (entry[1] is None or entry[1] == label)
+
+    def visit(self, label: str) -> None:
+        """Block the calling thread per the schedule (see module docs)."""
+        me = self._names.get(threading.get_ident())
+        if me is None:
+            return
+        deadline = time.monotonic() + self.timeout
+        with self._cv:
+            self.trace.append((me, label))
+            while True:
+                self._defer_unrunnable()
+                if not any(
+                    self._matches(e, me, label) for e in self.schedule
+                ):
+                    self._cv.notify_all()
+                    return
+                if self._matches(self.schedule[0], me, label):
+                    self.schedule.pop(0)
+                    self._cv.notify_all()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cv.wait(remaining):
+                    raise ScheduleTimeout(self._diagnose(me, label))
+
+    def _diagnose(self, name: str, label: str) -> str:
+        return (
+            f"thread {name!r} timed out at point {label!r}; "
+            f"remaining schedule {self.schedule}, "
+            f"lock-blocked {sorted(self._lock_blocked)}, "
+            f"finished {sorted(self._finished)}"
+        )
+
+    # ------------------------------------------------------------------
+    # tracked-lock integration (called by repro.analysis.concurrency)
+    # ------------------------------------------------------------------
+    def lock_blocked(self) -> None:
+        """The calling thread is about to block on a tracked lock."""
+        me = self._names.get(threading.get_ident())
+        if me is None:
+            return
+        with self._cv:
+            self._lock_blocked.add(me)
+            self._cv.notify_all()
+
+    def lock_unblocked(self) -> None:
+        """The calling thread re-acquired its tracked lock."""
+        me = self._names.get(threading.get_ident())
+        if me is None:
+            return
+        with self._cv:
+            self._lock_blocked.discard(me)
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # driving threads
+    # ------------------------------------------------------------------
+    def run(
+        self, fns: Mapping[str, Callable[[], Any]]
+    ) -> dict[str, Any]:
+        """Run every callable on its own named thread under this
+        schedule; returns ``{name: result}`` (exceptions land in
+        :attr:`errors`, not here — asserting on a captured race *is*
+        the point).  Raises :class:`ScheduleTimeout` if any thread is
+        still alive at the deadline."""
+        global _active
+        if _active is not None:
+            raise InterleaveError("another scheduler is already active")
+
+        def runner(name: str, fn: Callable[[], Any]) -> None:
+            self.register(name)
+            try:
+                self.results[name] = fn()
+            except BaseException as exc:  # noqa: BLE001 - captured result
+                self.errors[name] = exc
+            finally:
+                self.finish(name)
+
+        threads = [
+            threading.Thread(
+                target=runner, args=(name, fn),
+                name=f"interleave-{name}", daemon=True,
+            )
+            for name, fn in fns.items()
+        ]
+        _active = self
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + self.timeout
+            for thread in threads:
+                thread.join(max(deadline - time.monotonic(), 0.0))
+            stuck = [t.name for t in threads if t.is_alive()]
+            if stuck:
+                raise ScheduleTimeout(
+                    f"threads {stuck} never finished; remaining schedule "
+                    f"{self.schedule}, lock-blocked "
+                    f"{sorted(self._lock_blocked)}"
+                )
+        finally:
+            _active = None
+        return self.results

@@ -23,7 +23,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Repo-specific static analysis: seeded-RNG discipline, "
             "float64 invariance, registered event names, data-plane "
-            "routing, mutable defaults, contract coverage."
+            "routing, mutable defaults, contract coverage, and "
+            "concurrency discipline (guarded attributes, lock hygiene, "
+            "thread lifecycle, check-then-act races)."
         ),
     )
     parser.add_argument(
@@ -45,9 +47,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print every rule code with its one-line summary and exit",
+        help=(
+            "print every rule code with its one-line summary and "
+            "waiver syntax, then exit"
+        ),
     )
     return parser
+
+
+def _waiver_syntax(code: str) -> str:
+    if code == "R006":
+        return "# reprolint: no-contract  (or disable=R006)"
+    return f"# reprolint: disable={code}"
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -55,7 +66,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for code, rule in sorted(RULES.items()):
             doc = (rule.__doc__ or "").strip().splitlines()[0]
+            # docstrings lead with "Rnnn: "; don't print the code twice
+            prefix = f"{code}: "
+            if doc.startswith(prefix):
+                doc = doc[len(prefix):]
             print(f"{code}  {doc}")
+            print(f"      waive: {_waiver_syntax(code)}")
         return 0
     select = None
     if args.select:

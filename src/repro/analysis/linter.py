@@ -145,6 +145,7 @@ def lint_source(
             else CONTRACT_MODULES
         ),
         in_src="src/" in normalized or normalized.startswith("src"),
+        source=source,
     )
     try:
         tree = ast.parse(source)

@@ -1,0 +1,88 @@
+"""The ``REPRO_CHECK`` mode shared by every runtime checker.
+
+Array contracts (:mod:`repro.analysis.contracts`) and the concurrency
+sanitizer (:mod:`repro.analysis.concurrency`) obey one switch:
+
+``off`` (default)
+    Checkers short-circuit — one thread-local read and a branch.
+``warn``
+    Violations emit a warning and execution continues.
+``strict``
+    Violations raise.
+
+The mode is **per thread**, seeded from the environment when a thread
+first asks: worker threads spawned under ``REPRO_CHECK=strict`` check
+strictly, while :func:`set_check_mode` / :func:`checking` adjust only
+the calling thread (tests pin the environment variable when they need
+freshly spawned workers to inherit a non-default mode).
+
+This module is deliberately standard-library only so the stdlib half of
+``repro.analysis`` (linter, concurrency sanitizer, interleaving
+harness) stays importable without numpy.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "CHECK_ENV_VAR",
+    "MODES",
+    "check_mode",
+    "checking",
+    "set_check_mode",
+]
+
+CHECK_ENV_VAR = "REPRO_CHECK"
+MODES = ("strict", "warn", "off")
+
+
+def _resolve_env_mode() -> str:
+    raw = os.environ.get(CHECK_ENV_VAR, "off").strip().lower()
+    if raw not in MODES:
+        raise ValueError(
+            f"{CHECK_ENV_VAR}={raw!r} is not a valid mode; "
+            f"choose one of {MODES}"
+        )
+    return raw
+
+
+class _State(threading.local):
+    """Per-thread check mode, seeded from the environment."""
+
+    def __init__(self) -> None:
+        self.mode = _resolve_env_mode()
+
+
+_state = _State()
+
+
+def check_mode() -> str:
+    """The active check mode (``strict``/``warn``/``off``)."""
+    return _state.mode
+
+
+def set_check_mode(mode: str) -> str:
+    """Set the mode for the current thread; returns the previous mode."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    previous = _state.mode
+    _state.mode = mode
+    return previous
+
+
+class checking:
+    """Context manager pinning the check mode (``with checking("strict")``)."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self._previous: str | None = None
+
+    def __enter__(self) -> "checking":
+        self._previous = set_check_mode(self.mode)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._previous is not None
+        set_check_mode(self._previous)

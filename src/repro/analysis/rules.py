@@ -25,6 +25,9 @@ The rules encode invariants earlier PRs rely on:
     a ``@contract`` or carry an explicit ``# reprolint: no-contract``
     waiver.
 
+Concurrency rules R007–R011 live in :mod:`.rules_concurrency` and are
+merged into :data:`RULES` below.
+
 This module depends only on the standard library so the linter can run
 in environments without numpy installed.
 """
@@ -69,6 +72,10 @@ class LintContext:
     contract_modules: frozenset[str] = field(default_factory=frozenset)
     #: true for files under the production source tree (R004 scope)
     in_src: bool = False
+    #: raw module source, for rules driven by comment conventions
+    #: (R007/R011's ``#: guarded_by:`` / ``#: requires:`` annotations);
+    #: None disables the comment-driven halves of those rules
+    source: str | None = None
 
 
 def _is_np_random(node: ast.expr) -> bool:
@@ -380,6 +387,12 @@ RULES = {
     "R005": rule_r005,
     "R006": rule_r006,
 }
+
+# the concurrency rules (R007–R011) live in their own module; importing
+# it at the bottom avoids a cycle (it needs LintContext/Violation/_v)
+from .rules_concurrency import CONCURRENCY_RULES  # noqa: E402
+
+RULES.update(CONCURRENCY_RULES)
 
 
 def run_rules(

@@ -1,0 +1,566 @@
+"""Concurrency rules of ``reprolint`` (R007–R011).
+
+The dynamic sanitizer (:mod:`repro.analysis.concurrency`) catches lock
+discipline violations on the interleavings a test happens to execute;
+these rules catch the same classes of bug on *every* path, before any
+code runs, driven by a small declarative convention:
+
+``#: guarded_by: _lock``
+    on an assignment line (or ``attr = guarded_by("_lock")`` at class
+    level) declares that the attribute may only be written while
+    ``self._lock`` is held;
+``#: requires: _lock``
+    on a ``def`` line declares that callers enter the method with the
+    lock already held (the private ``_locked`` helper idiom), so every
+    write inside counts as guarded.
+
+The rules:
+
+``R007`` **unguarded write to a guarded attribute** — a write site of a
+    declared attribute that is not lexically inside ``with self._lock:``
+    (and not in ``__init__``/``__post_init__``, where the object is not
+    yet shared).
+``R008`` **bare ``acquire()``** — a ``lock.acquire()`` statement whose
+    release is not guaranteed by an immediately following
+    ``try/finally``; an exception between acquire and release leaves
+    the lock held forever.  Use ``with``.
+``R009`` **thread spawn without join or daemon** — a
+    ``threading.Thread(...)`` constructed in a function that neither
+    marks it ``daemon=True`` nor ever calls ``.join()``; such threads
+    outlive the test/run that spawned them.
+``R010`` **blocking call under a lock** — ``time.sleep``, ``.result()``,
+    ``open()``/``read_text``/``write_text`` inside a ``with``-block
+    whose context manager looks like a lock; the blocked thread holds
+    every waiter hostage.  (Deliberately *not* flagged: the array I/O
+    the cache performs under its own lock — eviction correctness
+    requires it — and ``Condition.wait``, which releases the lock.)
+``R011`` **non-atomic check-then-act** — ``if key in self.d: ...
+    self.d[key]`` outside the owning class's lock; the key can vanish
+    between the test and the use.  Only checked in classes that own a
+    lock (``self.x = Lock()`` / ``TrackedLock()`` / ``guarded_by``),
+    where the state is demonstrably shared.
+
+R008–R011 are scoped to production sources (``src/``); tests and
+benchmarks intentionally exercise raw primitives.  R007 follows its
+declarations wherever they appear.  Standard-library only, like the
+rest of the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from .rules import LintContext, Violation, _v
+
+__all__ = ["CONCURRENCY_RULES"]
+
+#: this module's own instrumentation wraps raw acquire/release by design
+_R008_ALLOWED = ("repro/analysis/concurrency.py",)
+
+_GUARD_COMMENT_RE = re.compile(r"#:\s*guarded_by:\s*([A-Za-z_]\w*)")
+_REQUIRES_COMMENT_RE = re.compile(r"#:\s*requires:\s*([A-Za-z_]\w*)")
+
+#: method calls that mutate their receiver (list/dict/set/deque/OrderedDict)
+_MUTATORS = frozenset(
+    {"append", "extend", "insert", "pop", "popitem", "clear", "update",
+     "setdefault", "remove", "discard", "add", "move_to_end", "sort",
+     "reverse", "appendleft", "popleft"}
+)
+
+_LOCK_CTORS = frozenset({"Lock", "RLock", "TrackedLock", "TrackedRLock"})
+
+
+def _comment_map(source: str | None, regex: re.Pattern[str]) -> dict[int, str]:
+    """Line number -> annotated lock name for one comment convention."""
+    if not source:
+        return {}
+    found: dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = regex.search(line)
+        if match is not None:
+            found[lineno] = match.group(1)
+    return found
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``X``; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_guarded_by_call(node: ast.expr) -> str | None:
+    """``guarded_by("_lock")`` -> ``"_lock"``; else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    fn = node.func
+    named = (
+        (isinstance(fn, ast.Name) and fn.id == "guarded_by")
+        or (isinstance(fn, ast.Attribute) and fn.attr == "guarded_by")
+    )
+    if named and node.args:
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id in _LOCK_CTORS
+    if isinstance(fn, ast.Attribute):
+        return fn.attr in _LOCK_CTORS
+    return False
+
+
+@dataclass
+class _ClassGuards:
+    """Per-class harvest of the declarative convention."""
+
+    #: attribute name -> lock attribute protecting it
+    guarded: dict[str, str] = field(default_factory=dict)
+    #: attributes of this class that are locks
+    locks: set[str] = field(default_factory=set)
+
+
+def _harvest_class(
+    cls: ast.ClassDef, guard_comments: dict[int, str]
+) -> _ClassGuards:
+    guards = _ClassGuards()
+    for node in cls.body:
+        # class level:  _memory = guarded_by("_lock")
+        if isinstance(node, ast.Assign):
+            lock = _is_guarded_by_call(node.value)
+            if lock is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        guards.guarded[target.id] = lock
+                        guards.locks.add(lock)
+    for node in ast.walk(cls):
+        # instance level:  self._memory = OrderedDict()  #: guarded_by: _lock
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                lock = guard_comments.get(node.lineno)
+                if lock is not None:
+                    guards.guarded[attr] = lock
+                    guards.locks.add(lock)
+                value = getattr(node, "value", None)
+                if value is not None and _is_lock_ctor(value):
+                    guards.locks.add(attr)
+    return guards
+
+
+def _with_lock_names(node: ast.With | ast.AsyncWith) -> set[str]:
+    """Lock-ish names entered by one with-statement.
+
+    ``with self._lock:`` yields ``_lock``; ``with lock:`` yields
+    ``lock``.  Call expressions (``with open(...)``) yield nothing.
+    """
+    names: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        attr = _self_attr(expr)
+        if attr is not None:
+            names.add(attr)
+        elif isinstance(expr, ast.Name):
+            names.add(expr.id)
+    return names
+
+
+def _scan_holding(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    initially_held: frozenset[str],
+    visit: "callable",
+) -> None:
+    """Call ``visit(stmt, held)`` for every node in ``fn``'s own scope,
+    with ``held`` the set of lock names lexically entered via ``with``.
+    Nested function/class scopes are not descended into — their bodies
+    run at unknowable times, so no lock can be assumed held there."""
+
+    def walk(node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held | _with_lock_names(node)
+            for stmt in node.body:
+                walk(stmt, inner)
+            return
+        visit(node, held)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                 ast.ClassDef),
+            ):
+                continue
+            walk(child, held)
+
+    for stmt in fn.body:
+        walk(stmt, initially_held)
+
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__set_name__"})
+
+
+def _iter_methods(cls: ast.ClassDef):
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def rule_r007(tree: ast.Module, context: LintContext) -> list[Violation]:
+    """R007: writes to guarded_by attributes must hold the declared lock."""
+    guard_comments = _comment_map(context.source, _GUARD_COMMENT_RE)
+    requires = _comment_map(context.source, _REQUIRES_COMMENT_RE)
+    out = []
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        guards = _harvest_class(cls, guard_comments)
+        if not guards.guarded:
+            continue
+
+        for method in _iter_methods(cls):
+            if method.name in _INIT_METHODS:
+                continue
+            held0 = frozenset(
+                {requires[method.lineno]} if method.lineno in requires
+                else ()
+            )
+
+            def check(node: ast.AST, held: frozenset[str]) -> None:
+                writes: list[tuple[str, ast.AST]] = []
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr is None and isinstance(target, ast.Subscript):
+                            attr = _self_attr(target.value)
+                        if attr is not None:
+                            writes.append((attr, node))
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is None and isinstance(target, ast.Subscript):
+                            attr = _self_attr(target.value)
+                        if attr is not None:
+                            writes.append((attr, node))
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                ):
+                    attr = _self_attr(node.func.value)
+                    if attr is not None:
+                        writes.append((attr, node))
+                for attr, site in writes:
+                    lock = guards.guarded.get(attr)
+                    if lock is not None and lock not in held:
+                        out.append(
+                            (
+                                site.lineno,
+                                site.col_offset,
+                                f"write to {attr!r} (guarded_by {lock!r}) "
+                                f"in {cls.name}.{method.name}() without "
+                                f"holding self.{lock}; wrap in 'with "
+                                f"self.{lock}:' or annotate the method "
+                                f"'#: requires: {lock}'",
+                            )
+                        )
+
+            _scan_holding(method, held0, check)
+    return [
+        _v(context.module_path, line, col, "R007", msg)
+        for line, col, msg in out
+    ]
+
+
+def _iter_statement_lists(tree: ast.Module):
+    for node in ast.walk(tree):
+        for fieldname in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, fieldname, None)
+            if isinstance(stmts, list) and stmts:
+                yield stmts
+
+
+def _acquire_call(stmt: ast.stmt) -> ast.Call | None:
+    """The ``X.acquire(...)`` call of a bare statement, if any."""
+    value = None
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        value = stmt.value
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "acquire"
+    ):
+        return value
+    return None
+
+
+def _releases_in(stmts: list[ast.stmt]) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+            ):
+                return True
+    return False
+
+
+def rule_r008(tree: ast.Module, context: LintContext) -> list[Violation]:
+    """R008: bare lock.acquire() without with-statement or try/finally."""
+    if not context.in_src:
+        return []
+    if any(context.module_path.endswith(a) for a in _R008_ALLOWED):
+        return []
+    out = []
+    for stmts in _iter_statement_lists(tree):
+        for index, stmt in enumerate(stmts):
+            call = _acquire_call(stmt)
+            if call is None:
+                continue
+            follower = stmts[index + 1] if index + 1 < len(stmts) else None
+            if (
+                isinstance(follower, ast.Try)
+                and follower.finalbody
+                and _releases_in(follower.finalbody)
+            ):
+                continue
+            out.append(
+                (
+                    call.lineno,
+                    call.col_offset,
+                    "acquire() without a 'with' block or an immediate "
+                    "try/finally release; an exception here leaks the "
+                    "lock",
+                )
+            )
+    return [
+        _v(context.module_path, line, col, "R008", msg)
+        for line, col, msg in out
+    ]
+
+
+def _is_thread_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    fn = node.func
+    if isinstance(fn, ast.Name) and fn.id == "Thread":
+        return True
+    return isinstance(fn, ast.Attribute) and fn.attr == "Thread"
+
+
+def _daemon_true(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if (
+            kw.arg == "daemon"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+        ):
+            return True
+    return False
+
+
+def rule_r009(tree: ast.Module, context: LintContext) -> list[Violation]:
+    """R009: thread spawned without join() or daemon=True."""
+    if not context.in_src:
+        return []
+    out = []
+    for fn in [
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]:
+        spawns = [
+            node for node in ast.walk(fn)
+            if _is_thread_ctor(node) and not _daemon_true(node)
+        ]
+        if not spawns:
+            continue
+        joins = any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            for node in ast.walk(fn)
+        )
+        if joins:
+            continue
+        for spawn in spawns:
+            out.append(
+                (
+                    spawn.lineno,
+                    spawn.col_offset,
+                    f"Thread created in {fn.name}() with neither "
+                    "daemon=True nor a join(); it will outlive its "
+                    "spawner",
+                )
+            )
+    return [
+        _v(context.module_path, line, col, "R009", msg)
+        for line, col, msg in out
+    ]
+
+
+def _lockish(names: frozenset[str]) -> bool:
+    return any("lock" in n.lower() or "mutex" in n.lower() for n in names)
+
+
+def _blocking_call(node: ast.AST) -> str | None:
+    if not isinstance(node, ast.Call):
+        return None
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        if fn.id in ("open", "sleep"):
+            return fn.id
+        return None
+    if isinstance(fn, ast.Attribute):
+        if fn.attr in ("result", "read_text", "write_text"):
+            return f".{fn.attr}"
+        if (
+            fn.attr == "sleep"
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "time"
+        ):
+            return "time.sleep"
+    return None
+
+
+def rule_r010(tree: ast.Module, context: LintContext) -> list[Violation]:
+    """R010: blocking call (sleep/result/file I/O) while holding a lock."""
+    if not context.in_src:
+        return []
+    out = []
+    for fn in [
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]:
+
+        def check(node: ast.AST, held: frozenset[str]) -> None:
+            if not held or not _lockish(held):
+                return
+            what = _blocking_call(node)
+            if what is not None:
+                locks = ", ".join(sorted(held))
+                out.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"blocking call {what}() while holding {locks}; "
+                        "move the slow work outside the critical section",
+                    )
+                )
+
+        _scan_holding(fn, frozenset(), check)
+    # deduplicate: nested functions are reachable from several walks
+    seen = set()
+    unique = []
+    for item in out:
+        if item not in seen:
+            seen.add(item)
+            unique.append(item)
+    return [
+        _v(context.module_path, line, col, "R010", msg)
+        for line, col, msg in unique
+    ]
+
+
+def _membership_attr(test: ast.expr) -> str | None:
+    """``k in self.X`` / ``k not in self.X`` -> ``X``; else None."""
+    node = test
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        node = node.operand
+    if (
+        isinstance(node, ast.Compare)
+        and len(node.ops) == 1
+        and isinstance(node.ops[0], (ast.In, ast.NotIn))
+    ):
+        return _self_attr(node.comparators[0])
+    return None
+
+
+def _touches_attr(stmts: list[ast.stmt], attr: str) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Subscript) and _self_attr(node.value) == attr:
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and _self_attr(node.func.value) == attr
+            ):
+                return True
+    return False
+
+
+def rule_r011(tree: ast.Module, context: LintContext) -> list[Violation]:
+    """R011: non-atomic check-then-act on shared mapping outside its lock."""
+    if not context.in_src:
+        return []
+    guard_comments = _comment_map(context.source, _GUARD_COMMENT_RE)
+    requires = _comment_map(context.source, _REQUIRES_COMMENT_RE)
+    out = []
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        guards = _harvest_class(cls, guard_comments)
+        if not guards.locks:
+            continue
+        for method in _iter_methods(cls):
+            if method.name in _INIT_METHODS:
+                continue
+            held0 = frozenset(
+                {requires[method.lineno]} if method.lineno in requires
+                else ()
+            )
+
+            def check(node: ast.AST, held: frozenset[str]) -> None:
+                if not isinstance(node, ast.If):
+                    return
+                if held & guards.locks:
+                    return
+                attr = _membership_attr(node.test)
+                if attr is None or attr in guards.locks:
+                    return
+                if _touches_attr(node.body, attr) or _touches_attr(
+                    node.orelse, attr
+                ):
+                    out.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            f"check-then-act on self.{attr} outside "
+                            f"{cls.name}'s lock; the key can change "
+                            "between the membership test and the use",
+                        )
+                    )
+
+            _scan_holding(method, held0, check)
+    return [
+        _v(context.module_path, line, col, "R011", msg)
+        for line, col, msg in out
+    ]
+
+
+CONCURRENCY_RULES = {
+    "R007": rule_r007,
+    "R008": rule_r008,
+    "R009": rule_r009,
+    "R010": rule_r010,
+    "R011": rule_r011,
+}

@@ -26,6 +26,18 @@ The disk tier scales to full-chip streaming scans:
   ``cache_evicted`` event each) when an insert would overflow the
   budget.  :meth:`compact` reclaims leftover temp files and re-applies
   the budget offline.
+
+Thread safety: ``ShardScheduler`` threads and pool workers call
+``get``/``put`` concurrently, so every access to the LRU structures
+happens under one re-entrant cache lock (a
+:class:`~repro.analysis.concurrency.TrackedRLock`, so lock-order
+inversions against the event bus are detected under
+``REPRO_CHECK``).  The ``_memory``/``_disk_index`` ``OrderedDict``\\ s
+are declared :func:`~repro.analysis.concurrency.guarded_by` the lock —
+an unlocked access raises in strict mode and is flagged statically by
+reprolint R007.  Array I/O deliberately stays inside the critical
+section: eviction accounting must observe the same index state the
+filesystem operation was decided on.
 """
 
 from __future__ import annotations
@@ -40,6 +52,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from ..analysis.concurrency import TrackedRLock, guarded_by
+from ..analysis.interleave import trace_point
 
 if TYPE_CHECKING:  # avoid importing the engine at runtime
     from ..engine.events import EventBus
@@ -100,6 +115,9 @@ class FeatureCache:
     misses everything.  ``disk_shards > 0`` spreads disk entries over
     that many subdirectories (content-hash-prefix keyed);
     ``max_disk_bytes`` bounds the disk tier with LRU eviction.
+
+    All public methods are thread-safe; see the module docstring for
+    the locking discipline.
     """
 
     memory_items: int = 1024
@@ -113,6 +131,11 @@ class FeatureCache:
     disk_shards: int = 0
     #: byte budget of the disk tier (None = unbounded)
     max_disk_bytes: int | None = None
+
+    # class-level (not dataclass fields): the LRU structures may only
+    # be touched while self._lock is held
+    _memory = guarded_by("_lock")
+    _disk_index = guarded_by("_lock")
 
     def __post_init__(self) -> None:
         if self.memory_items < 0:
@@ -128,18 +151,21 @@ class FeatureCache:
                 "max_disk_bytes must be positive or None, got "
                 f"{self.max_disk_bytes}"
             )
-        self._memory: OrderedDict[str, np.ndarray] = OrderedDict()
-        #: key -> on-disk bytes, LRU-ordered (oldest first); the single
-        #: source of truth for the byte budget
-        self._disk_index: OrderedDict[str, int] = OrderedDict()
-        if self.disk_dir is not None:
-            self.disk_dir = Path(self.disk_dir)
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-            self._scan_disk()
+        self._lock = TrackedRLock("feature-cache")
+        with self._lock:
+            self._memory = OrderedDict()  #: guarded_by: _lock
+            #: key -> on-disk bytes, LRU-ordered (oldest first); the
+            #: single source of truth for the byte budget
+            self._disk_index = OrderedDict()  #: guarded_by: _lock
+            if self.disk_dir is not None:
+                self.disk_dir = Path(self.disk_dir)
+                self.disk_dir.mkdir(parents=True, exist_ok=True)
+                self._scan_disk()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def _shard_of(self, key: str) -> int:
         """Shard number from the content-hash prefix of ``key`` (keys
@@ -168,7 +194,7 @@ class FeatureCache:
                 return flat
         return None
 
-    def _scan_disk(self) -> None:
+    def _scan_disk(self) -> None:  #: requires: _lock
         """Build the size/LRU index of pre-existing disk entries
         (oldest modification first, so eviction drops stale runs)."""
         root = Path(self.disk_dir)  # type: ignore[arg-type]
@@ -201,55 +227,61 @@ class FeatureCache:
         Returned arrays are the cache's own storage — treat them as
         read-only (batch assembly copies them into the output anyway).
         """
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return self._memory[key]
-        if self.disk_dir is not None:
-            path = self._lookup_path(key)
-            if path is not None:
-                try:
-                    with np.load(path, allow_pickle=False) as archive:
-                        array = archive["data"]
-                except (OSError, ValueError, KeyError, zipfile.BadZipFile):
-                    # a torn write is a miss — quarantine the file so it
-                    # cannot fail again on every future read
-                    self._quarantine(key, path)
-                    self.stats.misses += 1
-                    return None
-                self.stats.disk_hits += 1
-                if key in self._disk_index:
-                    self._disk_index.move_to_end(key)
-                self._store_memory(key, array)
-                return array
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._memory:
+                trace_point("cache.get.hit")
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._memory[key]
+            if self.disk_dir is not None:
+                path = self._lookup_path(key)
+                if path is not None:
+                    try:
+                        with np.load(path, allow_pickle=False) as archive:
+                            array = archive["data"]
+                    except (OSError, ValueError, KeyError,
+                            zipfile.BadZipFile):
+                        # a torn write is a miss — quarantine the file
+                        # so it cannot fail again on every future read
+                        self._quarantine(key, path)
+                        self.stats.misses += 1
+                        return None
+                    self.stats.disk_hits += 1
+                    if key in self._disk_index:
+                        self._disk_index.move_to_end(key)
+                    self._store_memory(key, array)
+                    return array
+            self.stats.misses += 1
+            trace_point("cache.get.miss")
+            return None
 
     def put(self, key: str, array: np.ndarray) -> None:
         """Insert ``array`` into every enabled tier."""
         array = np.asarray(array)
-        self.stats.puts += 1
-        self._store_memory(key, array)
-        if self.disk_dir is not None:
-            path = self._disk_path(key)
-            if self._lookup_path(key) is None:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                # atomic publish: concurrent writers race benignly
-                fd, tmp = tempfile.mkstemp(
-                    dir=str(path.parent), suffix=".tmp"
-                )
-                try:
-                    with os.fdopen(fd, "wb") as handle:
-                        np.savez_compressed(handle, data=array)
-                    os.replace(tmp, path)
-                except OSError:
-                    if os.path.exists(tmp):
-                        os.unlink(tmp)
-                    return
-                self._account_disk_entry(key, path)
-                self._evict_disk()
+        with self._lock:
+            self.stats.puts += 1
+            self._store_memory(key, array)
+            if self.disk_dir is not None:
+                path = self._disk_path(key)
+                if self._lookup_path(key) is None:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    # atomic publish: concurrent writers race benignly
+                    fd, tmp = tempfile.mkstemp(
+                        dir=str(path.parent), suffix=".tmp"
+                    )
+                    try:
+                        with os.fdopen(fd, "wb") as handle:
+                            np.savez_compressed(handle, data=array)
+                        os.replace(tmp, path)
+                    except OSError:
+                        if os.path.exists(tmp):
+                            os.unlink(tmp)
+                        return
+                    self._account_disk_entry(key, path)
+                    self._evict_disk()
+            trace_point("cache.put.done")
 
-    def _account_disk_entry(self, key: str, path: Path) -> None:
+    def _account_disk_entry(self, key: str, path: Path) -> None:  #: requires: _lock
         try:
             size = path.stat().st_size
         except OSError:
@@ -260,7 +292,7 @@ class FeatureCache:
         self._disk_index.move_to_end(key)
         self.stats.disk_bytes += size
 
-    def _evict_disk(self) -> None:
+    def _evict_disk(self) -> None:  #: requires: _lock
         """Drop least-recently-used disk entries until the tier fits
         the byte budget (one ``cache_evicted`` event per entry)."""
         if self.max_disk_bytes is None:
@@ -312,20 +344,23 @@ class FeatureCache:
                 report["removed_tmp"] += 1
             except OSError:
                 pass
-        self._scan_disk()
-        budget = max_bytes if max_bytes is not None else self.max_disk_bytes
-        if budget is not None:
-            original = self.max_disk_bytes
-            self.max_disk_bytes = budget
-            try:
-                self._evict_disk()
-            finally:
-                self.max_disk_bytes = original
-        report["disk_bytes"] = self.stats.disk_bytes
-        report["entries"] = len(self._disk_index)
+        with self._lock:
+            self._scan_disk()
+            budget = (
+                max_bytes if max_bytes is not None else self.max_disk_bytes
+            )
+            if budget is not None:
+                original = self.max_disk_bytes
+                self.max_disk_bytes = budget
+                try:
+                    self._evict_disk()
+                finally:
+                    self.max_disk_bytes = original
+            report["disk_bytes"] = self.stats.disk_bytes
+            report["entries"] = len(self._disk_index)
         return report
 
-    def _quarantine(self, key: str, path: Path) -> None:
+    def _quarantine(self, key: str, path: Path) -> None:  #: requires: _lock
         """Delete a corrupt disk entry and account for it."""
         self.stats.corrupt += 1
         try:
@@ -337,7 +372,7 @@ class FeatureCache:
         if self.bus is not None:
             self.bus.emit("cache_corrupt", key=key, path=str(path))
 
-    def _store_memory(self, key: str, array: np.ndarray) -> None:
+    def _store_memory(self, key: str, array: np.ndarray) -> None:  #: requires: _lock
         if self.memory_items == 0:
             return
         if key in self._memory:
@@ -350,5 +385,8 @@ class FeatureCache:
 
     def clear(self) -> None:
         """Drop the memory tier and reset counters (disk is kept)."""
-        self._memory.clear()
-        self.stats = CacheStats(disk_bytes=sum(self._disk_index.values()))
+        with self._lock:
+            self._memory.clear()
+            self.stats = CacheStats(
+                disk_bytes=sum(self._disk_index.values())
+            )

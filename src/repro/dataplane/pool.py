@@ -21,6 +21,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, Iterator, Optional, Sequence, TypeVar
 
+from ..analysis.interleave import trace_point
+
 __all__ = ["chunked", "imap_chunks", "map_chunks"]
 
 T = TypeVar("T")
@@ -85,7 +87,9 @@ def _iter_chunks(
                     yield fn(parts[index])
                 continue
             try:
-                yield future.result(timeout=timeout)
+                result = future.result(timeout=timeout)
+                trace_point("pool.chunk.done")
+                yield result
             except FuturesTimeoutError:
                 hung = True
                 future.cancel()

@@ -47,6 +47,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..analysis.concurrency import TrackedLock
+from ..analysis.interleave import trace_point
 from ..engine.checkpoint import ScanCursor
 from ..engine.events import EventBus
 from ..layout.layout import Layout
@@ -136,8 +138,10 @@ class ShardScheduler:
     the *back* of the richest other queue — the classic deque
     discipline, so owners and thieves rarely contend on the same end.
     ``on_result`` calls are serialized (one at a time, in completion
-    order), which is what lets callers flush cursors and emit on a
-    non-thread-safe event bus from inside the callback.
+    order), which is what lets callers flush cursors and aggregate into
+    plain lists from inside the callback.  The queue lock is a
+    :class:`~repro.analysis.concurrency.TrackedLock`, so any lock-order
+    inversion a callback introduces is reported under ``REPRO_CHECK``.
 
     The first exception raised by ``work`` or ``on_result`` stops the
     scheduler and is re-raised from :meth:`run`; items already
@@ -160,7 +164,7 @@ class ShardScheduler:
         for i, item in enumerate(items):
             queues[i % self.shards].append(item)
 
-        lock = threading.Lock()
+        lock = TrackedLock("shard-scheduler")
         stop = threading.Event()
         errors: list[BaseException] = []
         stats = {"steals": 0, "per_shard": [0] * self.shards}
@@ -185,6 +189,7 @@ class ShardScheduler:
                 item, stolen = take(me)
                 if item is _EMPTY:
                     return
+                trace_point("scheduler.item.taken")
                 try:
                     result = work(item)
                     with lock:
@@ -193,6 +198,7 @@ class ShardScheduler:
                             stats["steals"] += 1  # type: ignore[operator]
                         if on_result is not None:
                             on_result(item, result)
+                        trace_point("scheduler.item.done")
                 except BaseException as exc:  # noqa: BLE001 - re-raised
                     with lock:
                         errors.append(exc)
@@ -392,10 +398,11 @@ class StreamScanner:
         self.bus = bus
         self.labeler = labeler
         #: serializes feature encoding / inference / litho labeling —
-        #: the data-plane cache and the litho meter are not thread-safe;
-        #: parallelism of the compute step lives in the plane's own
-        #: chunk pool
-        self._compute_lock = threading.Lock()
+        #: scoring batches out of order would scramble the litho query
+        #: meter; parallelism of the compute step lives in the plane's
+        #: own chunk pool.  Tracked, so holding it across a cache/bus
+        #: acquisition keeps the lock-order graph observable.
+        self._compute_lock = TrackedLock("scanner-compute")
 
     # ------------------------------------------------------------------
     def _score_tile(self, clips: list) -> tuple[list[float], list[int]]:
@@ -514,8 +521,9 @@ class StreamScanner:
         unsaved = 0
 
         def on_result(tile: Tile, result: _TileResult) -> None:
-            # scheduler-serialized: cursor flushes and bus emits are
-            # safe here and nowhere else off the main thread
+            # scheduler-serialized: cursor flushes and the results list
+            # are safe here and nowhere else off the main thread (the
+            # bus serializes its own dispatch)
             nonlocal unsaved
             results.append(result)
             if cursor is not None:

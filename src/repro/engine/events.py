@@ -101,6 +101,8 @@ import sys
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
+from ..analysis.concurrency import TrackedRLock, guarded_by
+
 __all__ = [
     "EVENT_KINDS",
     "Event",
@@ -154,11 +156,26 @@ class EventBus:
     Handlers run in subscription order; a handler subscribed with
     ``kinds`` only sees those event kinds.  Emitting an unknown kind is
     a programming error and raises immediately.
+
+    Thread safety: scanner shards and pool workers emit
+    ``tile_scanned``/``cache_evicted`` from their own threads, so the
+    subscriber list, the sequence counter, **and dispatch itself** are
+    serialized under one re-entrant tracked lock — handlers never run
+    concurrently with each other and sequence numbers match delivery
+    order.  Two consequences for handler authors: a handler may emit
+    further events (the lock is re-entrant), but it must not block or
+    acquire a lock that is elsewhere held while emitting (the tracked
+    lock reports that inversion under ``REPRO_CHECK``).
     """
 
+    _subscribers = guarded_by("_lock")
+    _seq = guarded_by("_lock")
+
     def __init__(self) -> None:
-        self._subscribers: list[tuple[Handler, frozenset[str] | None]] = []
-        self._seq = 0
+        self._lock = TrackedRLock("event-bus")
+        with self._lock:
+            self._subscribers = []  #: guarded_by: _lock
+            self._seq = 0  #: guarded_by: _lock
 
     def subscribe(
         self, handler: Handler, kinds: Iterable[str] | None = None
@@ -173,24 +190,27 @@ class EventBus:
                     f"unknown event kinds {sorted(unknown)}; "
                     f"known: {EVENT_KINDS}"
                 )
-        self._subscribers.append((handler, kinds))
+        with self._lock:
+            self._subscribers.append((handler, kinds))
         return handler
 
     def unsubscribe(self, handler: Handler) -> None:
-        self._subscribers = [
-            (h, k) for h, k in self._subscribers if h is not handler
-        ]
+        with self._lock:
+            self._subscribers = [
+                (h, k) for h, k in self._subscribers if h is not handler
+            ]
 
     def emit(self, kind: str, **payload) -> Event:
         if kind not in EVENT_KINDS:
             raise ValueError(
                 f"unknown event kind {kind!r}; known: {EVENT_KINDS}"
             )
-        event = Event(kind=kind, seq=self._seq, payload=payload)
-        self._seq += 1
-        for handler, kinds in list(self._subscribers):
-            if kinds is None or kind in kinds:
-                handler(event)
+        with self._lock:
+            event = Event(kind=kind, seq=self._seq, payload=payload)
+            self._seq += 1
+            for handler, kinds in list(self._subscribers):
+                if kinds is None or kind in kinds:
+                    handler(event)
         return event
 
 

@@ -54,6 +54,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..analysis.concurrency import TrackedLock
 from ..stats.gmm import FitError
 from .events import Event, EventBus
 
@@ -191,6 +192,10 @@ class RunSupervisor:
         self.seed = int(seed)
         self._report = GuardReport(enabled=config.enabled)
         self._handler: Callable[[Event], None] | None = None
+        #: guards the report lists — _route is reached both from bus
+        #: dispatch (scanner/pool threads) and directly from _emit on
+        #: the supervising thread
+        self._report_lock = TrackedLock("guard-report")
 
     # ------------------------------------------------------------------
     # report plumbing
@@ -215,12 +220,13 @@ class RunSupervisor:
         self._route(event.kind, dict(event.payload))
 
     def _route(self, kind: str, payload: dict) -> None:
-        if kind == "health_alert":
-            self._report.alerts.append(payload)
-        elif kind == "recovery_applied":
-            self._report.recoveries.append(payload)
-        elif kind == "degraded_mode":
-            self._report.degraded.append(payload)
+        with self._report_lock:
+            if kind == "health_alert":
+                self._report.alerts.append(payload)
+            elif kind == "recovery_applied":
+                self._report.recoveries.append(payload)
+            elif kind == "degraded_mode":
+                self._report.degraded.append(payload)
 
     def _emit(self, kind: str, **payload) -> None:
         payload["source"] = "supervisor"

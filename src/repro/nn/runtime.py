@@ -31,6 +31,8 @@ from typing import Iterator
 
 import numpy as np
 
+from ..analysis.interleave import trace_point
+
 __all__ = [
     "PRECISION_MODES",
     "PrecisionPolicy",
@@ -133,6 +135,7 @@ class WorkspaceArena:
         they fully overwrite each call).
         """
         state = self._state()
+        trace_point("arena.buffer")
         slot = (key, tuple(shape), np.dtype(dtype))
         buf = state["buffers"].get(slot)
         if buf is None:

@@ -1,0 +1,225 @@
+"""Tests of the deterministic interleaving harness
+(:mod:`repro.analysis.interleave`)."""
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import TrackedLock
+from repro.analysis.interleave import (
+    InterleaveError,
+    InterleaveScheduler,
+    ScheduleTimeout,
+    active_scheduler,
+    trace_point,
+)
+from repro.analysis.modes import set_check_mode
+
+
+@pytest.fixture(autouse=True)
+def _strict(monkeypatch):
+    # worker threads seed their mode from the env at first access
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    previous = set_check_mode("strict")
+    yield
+    set_check_mode(previous)
+
+
+def test_trace_point_is_noop_without_scheduler():
+    assert active_scheduler() is None
+    trace_point("anything")  # must not raise or block
+
+
+def test_schedule_forces_ordering():
+    order = []
+
+    def a():
+        trace_point("a.1")
+        order.append("a")
+
+    def b():
+        trace_point("b.1")
+        order.append("b")
+
+    # b's point is scripted first, so b commits before a every run
+    sched = InterleaveScheduler(
+        [("b", "b.1"), ("a", "a.1")], timeout=5.0
+    )
+    sched.run({"a": a, "b": b})
+    assert sched.errors == {}
+    assert order == ["b", "a"]
+
+
+def test_duplicate_entries_pin_thread_across_turns():
+    order = []
+
+    def writer():
+        trace_point("w.point")
+        order.append("writer")
+
+    def other():
+        trace_point("o.point")
+        order.append("other")
+
+    # writer blocks at w.point while its second entry is queued behind
+    # other's turn, so other runs in writer's preemption window
+    sched = InterleaveScheduler(
+        [
+            ("writer", "w.point"),
+            ("other", "o.point"),
+            ("writer", "w.point"),
+        ],
+        timeout=5.0,
+    )
+    sched.run({"writer": writer, "other": other})
+    assert order == ["other", "writer"]
+
+
+def test_bare_string_entry_matches_any_point():
+    hits = []
+
+    def walker():
+        trace_point("step.one")
+        trace_point("step.two")
+        hits.append("done")
+
+    sched = InterleaveScheduler(["walker", "walker"], timeout=5.0)
+    sched.run({"walker": walker})
+    assert hits == ["done"]
+    assert sched.trace == [("walker", "step.one"), ("walker", "step.two")]
+
+
+def test_unregistered_threads_pass_through():
+    sched = InterleaveScheduler([("runner", "shared.point")], timeout=5.0)
+    seen = []
+
+    def runner():
+        # a plain thread the scheduler never registered: free pass even
+        # through a label that appears in the schedule
+        bystander = threading.Thread(
+            target=lambda: (trace_point("shared.point"), seen.append("by"))
+        )
+        bystander.start()
+        bystander.join(timeout=2.0)
+        trace_point("shared.point")
+        return "ok"
+
+    assert sched.run({"runner": runner}) == {"runner": "ok"}
+    assert seen == ["by"]
+
+
+def test_finish_drops_remaining_entries():
+    def early():
+        return "done"  # never visits its scripted point
+
+    def late():
+        trace_point("late.point")
+        return "also done"
+
+    sched = InterleaveScheduler(
+        [("early", "early.point"), ("late", "late.point")], timeout=5.0
+    )
+    results = sched.run({"early": early, "late": late})
+    assert results == {"early": "done", "late": "also done"}
+
+
+def test_timeout_diagnoses_stuck_thread():
+    def stuck():
+        trace_point("p")
+        trace_point("p")  # second visit waits behind nobody's turn
+
+    sched = InterleaveScheduler(
+        [("stuck", "p"), ("nobody", "q"), ("stuck", "p")], timeout=0.3
+    )
+    # whichever deadline fires first wins: the stuck thread's visit()
+    # raises into sched.errors, or run()'s join deadline raises directly
+    try:
+        sched.run({"stuck": stuck})
+        error = sched.errors["stuck"]
+    except ScheduleTimeout as exc:
+        error = exc
+    assert isinstance(error, ScheduleTimeout)
+    assert "stuck" in str(error) and "'p'" in str(error)
+
+
+def test_errors_are_captured_not_raised():
+    def boom():
+        raise RuntimeError("captured race")
+
+    sched = InterleaveScheduler([], timeout=5.0)
+    results = sched.run({"boom": boom})
+    assert results == {}
+    assert isinstance(sched.errors["boom"], RuntimeError)
+
+
+def test_nested_run_rejected():
+    sched = InterleaveScheduler([("outer", "p")], timeout=5.0)
+
+    def outer():
+        inner = InterleaveScheduler([], timeout=1.0)
+        inner.run({})
+
+    sched.run({"outer": outer})
+    assert isinstance(sched.errors["outer"], InterleaveError)
+
+
+def test_lock_blocked_thread_defers_its_schedule_entries():
+    """A scripted turn for a thread stuck on a tracked lock rotates
+    behind runnable threads instead of deadlocking the schedule."""
+    lock = TrackedLock("interleave-test")
+    order = []
+
+    def holder():
+        with lock:
+            trace_point("holder.locked")
+            order.append("holder")
+        trace_point("holder.released")
+
+    def contender():
+        trace_point("contender.start")
+        with lock:  # blocks until holder releases
+            order.append("contender")
+
+    # contender's lock-acquisition turn is scripted *before* the holder
+    # releases; deferral must rotate it so the run completes
+    sched = InterleaveScheduler(
+        [
+            ("holder", "holder.locked"),
+            ("contender", "contender.start"),
+            ("contender", None),
+            ("holder", "holder.released"),
+        ],
+        timeout=5.0,
+    )
+    sched.run({"holder": holder, "contender": contender})
+    assert sched.errors == {}
+    assert order == ["holder", "contender"]
+
+
+def test_rejects_non_positive_timeout():
+    with pytest.raises(ValueError):
+        InterleaveScheduler([], timeout=0.0)
+
+
+def test_active_scheduler_scoped_to_run():
+    seen = {}
+
+    def probe():
+        seen["during"] = active_scheduler()
+
+    sched = InterleaveScheduler([], timeout=5.0)
+    sched.run({"probe": probe})
+    assert seen["during"] is sched
+    assert active_scheduler() is None
+
+
+def test_threads_are_named_and_daemonic():
+    seen = {}
+
+    def probe():
+        me = threading.current_thread()
+        seen["name"] = me.name
+        seen["daemon"] = me.daemon
+
+    InterleaveScheduler([], timeout=5.0).run({"probe": probe})
+    assert seen == {"name": "interleave-probe", "daemon": True}

@@ -36,7 +36,12 @@ def test_cli_exit_codes(repo_cwd, capsys):
     # an in-tree violation flips the exit code
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    assert "R001" in out and "R006" in out
+    for code in ("R001", "R006", "R007", "R008", "R009", "R010", "R011"):
+        assert code in out
+    # every rule advertises its waiver syntax
+    assert out.count("waive:") == 11
+    assert "# reprolint: disable=R007" in out
+    assert "# reprolint: no-contract" in out
 
 
 def test_cli_reports_violations(tmp_path, capsys):

@@ -382,3 +382,419 @@ class TestDriver:
         line = found[0].render()
         assert line.startswith(f"{SRC_PATH}:2:")
         assert " R001 " in line
+
+
+# ----------------------------------------------------------------------
+# R007 — unguarded writes to guarded_by attributes
+# ----------------------------------------------------------------------
+class TestR007:
+    def test_fires_on_unlocked_write_descriptor_form(self):
+        found = lint(
+            """
+            import threading
+            from repro.analysis.concurrency import guarded_by
+
+            class Cache:
+                _memory = guarded_by("_lock")
+
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._memory = {}
+
+                def put(self, key, value):
+                    self._memory[key] = value
+            """
+        )
+        assert codes(found) == ["R007"]
+        assert "_memory" in found[0].message
+        assert "_lock" in found[0].message
+
+    def test_fires_on_unlocked_mutator_comment_form(self):
+        found = lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._memory = {}  #: guarded_by: _lock
+
+                def drop(self):
+                    self._memory.clear()
+            """
+        )
+        assert codes(found) == ["R007"]
+
+    def test_silent_when_lock_held(self):
+        found = lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._memory = {}  #: guarded_by: _lock
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._memory[key] = value
+            """
+        )
+        assert found == []
+
+    def test_silent_in_requires_annotated_helper(self):
+        found = lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._memory = {}  #: guarded_by: _lock
+
+                def _evict(self):  #: requires: _lock
+                    self._memory.pop("old", None)
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._memory[key] = value
+                        self._evict()
+            """
+        )
+        assert found == []
+
+    def test_waiver_suppresses(self):
+        found = lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._memory = {}  #: guarded_by: _lock
+
+                def racy(self):
+                    self._memory.clear()  # reprolint: disable=R007
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R008 — bare acquire() without with / try-finally
+# ----------------------------------------------------------------------
+class TestR008:
+    def test_fires_on_bare_acquire(self):
+        found = lint(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def critical():
+                lock.acquire()
+                do_work()
+                lock.release()
+            """
+        )
+        assert codes(found) == ["R008"]
+        assert "leaks the lock" in found[0].message
+
+    def test_silent_with_try_finally(self):
+        found = lint(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def critical():
+                lock.acquire()
+                try:
+                    do_work()
+                finally:
+                    lock.release()
+            """
+        )
+        assert found == []
+
+    def test_scoped_to_src(self):
+        found = lint(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def critical():
+                lock.acquire()
+                lock.release()
+            """,
+            path="tests/test_something.py",
+        )
+        assert found == []
+
+    def test_waiver_suppresses(self):
+        found = lint(
+            """
+            import threading
+            lock = threading.Lock()
+
+            def probe():
+                got = lock.acquire(blocking=False)  # reprolint: disable=R008
+                return got
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R009 — thread spawn without join or daemon
+# ----------------------------------------------------------------------
+class TestR009:
+    def test_fires_on_leaked_thread(self):
+        found = lint(
+            """
+            import threading
+
+            def spawn(work):
+                thread = threading.Thread(target=work)
+                thread.start()
+            """
+        )
+        assert codes(found) == ["R009"]
+        assert "outlive" in found[0].message
+
+    def test_silent_with_daemon(self):
+        found = lint(
+            """
+            import threading
+
+            def spawn(work):
+                threading.Thread(target=work, daemon=True).start()
+            """
+        )
+        assert found == []
+
+    def test_silent_with_join(self):
+        found = lint(
+            """
+            import threading
+
+            def spawn(work):
+                threads = [threading.Thread(target=work) for _ in range(4)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            """
+        )
+        assert found == []
+
+    def test_scoped_to_src(self):
+        found = lint(
+            """
+            import threading
+
+            def spawn(work):
+                threading.Thread(target=work).start()
+            """,
+            path="tests/test_something.py",
+        )
+        assert found == []
+
+    def test_waiver_suppresses(self):
+        found = lint(
+            """
+            import threading
+
+            def spawn(work):
+                thread = threading.Thread(target=work)  # reprolint: disable=R009
+                thread.start()
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R010 — blocking calls while holding a lock
+# ----------------------------------------------------------------------
+class TestR010:
+    def test_fires_on_sleep_under_lock(self):
+        found = lint(
+            """
+            import time
+            import threading
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poll(self):
+                    with self._lock:
+                        time.sleep(0.5)
+            """
+        )
+        assert codes(found) == ["R010"]
+        assert "time.sleep" in found[0].message
+
+    def test_fires_on_file_io_under_module_lock(self):
+        found = lint(
+            """
+            import threading
+            state_lock = threading.Lock()
+
+            def save(path, payload):
+                with state_lock:
+                    path.write_text(payload)
+            """
+        )
+        assert codes(found) == ["R010"]
+
+    def test_fires_on_future_result_under_lock(self):
+        found = lint(
+            """
+            import threading
+
+            class Waiter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait(self, future):
+                    with self._lock:
+                        return future.result()
+            """
+        )
+        assert codes(found) == ["R010"]
+
+    def test_silent_outside_lock(self):
+        found = lint(
+            """
+            import time
+            import threading
+
+            class Poller:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poll(self):
+                    with self._lock:
+                        snapshot = 1
+                    time.sleep(0.5)
+                    return snapshot
+            """
+        )
+        assert found == []
+
+    def test_silent_under_non_lock_context(self):
+        found = lint(
+            """
+            def save(path, payload, opener):
+                with opener(path) as handle:
+                    handle.write_text(payload)
+            """
+        )
+        assert found == []
+
+    def test_waiver_suppresses(self):
+        found = lint(
+            """
+            import time
+            import threading
+            pace_lock = threading.Lock()
+
+            def pace():
+                with pace_lock:
+                    time.sleep(0.01)  # reprolint: disable=R010
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# R011 — non-atomic check-then-act on shared mappings
+# ----------------------------------------------------------------------
+class TestR011:
+    def test_fires_on_unlocked_check_then_act(self):
+        found = lint(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def get(self, key):
+                    if key in self._entries:
+                        return self._entries[key]
+                    return None
+            """
+        )
+        assert codes(found) == ["R011"]
+        assert "check-then-act" in found[0].message
+
+    def test_silent_when_locked(self):
+        found = lint(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def get(self, key):
+                    with self._lock:
+                        if key in self._entries:
+                            return self._entries[key]
+                    return None
+            """
+        )
+        assert found == []
+
+    def test_silent_in_requires_annotated_helper(self):
+        found = lint(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def _lookup(self, key):  #: requires: _lock
+                    if key in self._entries:
+                        return self._entries[key]
+                    return None
+            """
+        )
+        assert found == []
+
+    def test_silent_when_class_owns_no_lock(self):
+        found = lint(
+            """
+            class PlainBag:
+                def __init__(self):
+                    self._entries = {}
+
+                def get(self, key):
+                    if key in self._entries:
+                        return self._entries[key]
+                    return None
+            """
+        )
+        assert found == []
+
+    def test_waiver_suppresses(self):
+        found = lint(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def benign(self, key):
+                    if key in self._entries:  # reprolint: disable=R011
+                        return self._entries[key]
+                    return None
+            """
+        )
+        assert found == []

@@ -121,12 +121,14 @@ class TestTemperatureScaler:
 
 class TestFitHardening:
     def test_non_finite_logits_rejected(self):
+        # inline validation says "non-finite"; under REPRO_CHECK=strict
+        # the @contract intercepts first and says "NaN or Inf"
         logits = np.zeros((4, 2))
         logits[1, 0] = np.nan
-        with pytest.raises(ValueError, match="non-finite"):
+        with pytest.raises(ValueError, match="non-finite|NaN"):
             fit_temperature(logits, np.zeros(4, dtype=int))
         logits[1, 0] = np.inf
-        with pytest.raises(ValueError, match="non-finite"):
+        with pytest.raises(ValueError, match="non-finite|NaN"):
             fit_temperature(logits, np.zeros(4, dtype=int))
 
     def test_bad_bounds_rejected(self):

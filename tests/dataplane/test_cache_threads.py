@@ -1,0 +1,176 @@
+"""Concurrency regression tests of :class:`FeatureCache`.
+
+The centrepiece is a *deterministic* replay of the historical
+``_memory`` race: ``get()`` observed a key between another thread's
+``put()`` evicting it, so ``move_to_end`` raised ``KeyError``.  The
+interleaving harness reproduces that window on every run against an
+unlocked cache (proving the schedule really is the race) and shows the
+same adversarial schedule degrades into a legal ordering on the locked
+cache (proving the fix).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.interleave import InterleaveScheduler
+from repro.dataplane.cache import FeatureCache
+
+#: the adversarial schedule: pause the reader right after its
+#: ``key in self._memory`` check succeeds, let a put() evict the key,
+#: then resume the reader into ``move_to_end``
+RACE_SCHEDULE = [
+    ("reader", "cache.get.hit"),
+    ("scan", "cache.put.done"),
+    ("reader", "cache.get.hit"),
+]
+
+
+class _NullLock:
+    """Stand-in that deliberately provides no mutual exclusion — used
+    to re-create the pre-fix cache for the regression test."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def held(self):  # satisfies guarded_by under any mode
+        return True
+
+
+def _unlocked_cache(**kwargs) -> FeatureCache:
+    cache = FeatureCache(**kwargs)
+    cache._lock = _NullLock()
+    return cache
+
+
+def _race_once(cache: FeatureCache) -> InterleaveScheduler:
+    cache.put("k", np.ones(4))
+
+    sched = InterleaveScheduler(RACE_SCHEDULE, timeout=10.0)
+    sched.run(
+        {
+            "reader": lambda: cache.get("k"),
+            # a second distinct key evicts "k" from the 1-item LRU
+            "scan": lambda: cache.put("other", np.zeros(4)),
+        }
+    )
+    return sched
+
+
+def test_unlocked_cache_race_reproduces_every_run(monkeypatch):
+    """The seeded pre-fix race is caught 100% of runs, not as a flake."""
+    monkeypatch.setenv("REPRO_CHECK", "off")
+    for attempt in range(5):
+        sched = _race_once(_unlocked_cache(memory_items=1))
+        error = sched.errors.get("reader")
+        assert isinstance(error, KeyError), (
+            f"run {attempt}: expected the reader to lose its key "
+            f"mid-get, got errors={sched.errors!r}"
+        )
+
+
+def test_locked_cache_survives_the_same_schedule(monkeypatch):
+    """Post-fix, lock-blocked deferral turns the adversarial schedule
+    into a legal interleaving: the reader completes before the evicting
+    put gets the lock."""
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    for attempt in range(5):
+        sched = _race_once(FeatureCache(memory_items=1))
+        assert sched.errors == {}, f"run {attempt}: {sched.errors!r}"
+        np.testing.assert_array_equal(sched.results["reader"], np.ones(4))
+
+
+def test_memory_tier_storm(monkeypatch):
+    """Hammer one small cache from many threads under strict checking:
+    every operation stays exception-free and the counters balance."""
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    cache = FeatureCache(memory_items=8)
+    n_threads, n_ops = 8, 200
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        barrier.wait()
+        try:
+            for i in range(n_ops):
+                key = f"key-{rng.integers(0, 32)}"
+                if rng.random() < 0.5:
+                    cache.put(key, np.full(3, seed))
+                else:
+                    cache.get(key)
+        except BaseException as exc:  # noqa: BLE001 - collected below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,))
+        for seed in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+    assert len(cache) <= 8
+    total = cache.stats.hits + cache.stats.misses + cache.stats.puts
+    assert total == n_threads * n_ops
+
+
+def test_disk_tier_storm_with_eviction(tmp_path, monkeypatch):
+    """Concurrent puts against a byte-budgeted disk tier: eviction
+    accounting stays consistent because array I/O happens inside the
+    critical section."""
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    cache = FeatureCache(
+        memory_items=2,
+        disk_dir=tmp_path,
+        disk_shards=4,
+        max_disk_bytes=4096,
+    )
+    errors = []
+
+    def worker(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        try:
+            for i in range(40):
+                key = f"{seed:02d}entry{i:03d}"
+                cache.put(key, rng.normal(size=64))
+                cache.get(f"{(seed + 1) % 4:02d}entry{i:03d}")
+        except BaseException as exc:  # noqa: BLE001 - collected below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,)) for seed in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+    # the index (single source of truth) agrees with the stats mirror
+    with cache._lock:
+        assert cache.stats.disk_bytes == sum(cache._disk_index.values())
+    report = cache.compact()
+    assert report["disk_bytes"] <= 4096
+
+
+def test_guarded_attributes_reject_unlocked_access(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    from repro.analysis.concurrency import LockDisciplineError
+    from repro.analysis.modes import set_check_mode
+
+    previous = set_check_mode("strict")
+    try:
+        cache = FeatureCache(memory_items=4)
+        with pytest.raises(LockDisciplineError, match="without holding"):
+            cache._memory
+        with cache._lock:
+            assert cache._memory == {}
+    finally:
+        set_check_mode(previous)

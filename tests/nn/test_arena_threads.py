@@ -1,0 +1,116 @@
+"""Cross-thread behaviour of :class:`WorkspaceArena`, exercised under
+``REPRO_CHECK=strict`` with the interleaving harness forcing threads
+through the buffer-request point together."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.interleave import InterleaveScheduler
+from repro.nn.runtime import WorkspaceArena
+
+
+@pytest.fixture(autouse=True)
+def _strict(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+
+
+def test_threads_never_alias_each_others_scratch():
+    """Two threads requesting the same slot at the same point must get
+    *different* buffers (thread-local pools), and each thread's reuse
+    must stay stable."""
+    arena = WorkspaceArena()
+    grabbed = {}
+
+    def worker(name: str, fill: float):
+        buf = arena.buffer("shared-slot", (64,), np.float64)
+        buf[:] = fill
+        again = arena.buffer("shared-slot", (64,), np.float64)
+        grabbed[name] = (buf, again)
+
+    sched = InterleaveScheduler(
+        # interleave the two first requests point-for-point
+        [
+            ("a", "arena.buffer"),
+            ("b", "arena.buffer"),
+            ("a", "arena.buffer"),
+            ("b", "arena.buffer"),
+        ],
+        timeout=10.0,
+    )
+    sched.run(
+        {
+            "a": lambda: worker("a", 1.0),
+            "b": lambda: worker("b", 2.0),
+        }
+    )
+    assert sched.errors == {}
+    buf_a, again_a = grabbed["a"]
+    buf_b, again_b = grabbed["b"]
+    assert again_a is buf_a  # per-thread reuse
+    assert again_b is buf_b
+    assert buf_a is not buf_b  # no cross-thread aliasing
+    np.testing.assert_array_equal(buf_a, 1.0)
+    np.testing.assert_array_equal(buf_b, 2.0)
+
+
+def test_arena_reuse_storm():
+    """Many threads hammering overlapping slots: no exceptions, and
+    every thread's view of its counters is self-consistent."""
+    arena = WorkspaceArena()
+    n_threads, n_rounds = 8, 100
+    barrier = threading.Barrier(n_threads)
+    errors = []
+    per_thread_stats = {}
+
+    def worker(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        barrier.wait()
+        try:
+            for _ in range(n_rounds):
+                slot = int(rng.integers(0, 4))
+                buf = arena.buffer(f"slot-{slot}", (16,), np.float32)
+                buf[:] = seed
+                assert (buf == seed).all(), "another thread wrote scratch"
+            per_thread_stats[seed] = arena.stats()
+        except BaseException as exc:  # noqa: BLE001 - collected below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,))
+        for seed in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+    for seed, stats in per_thread_stats.items():
+        # each thread allocated at most the 4 slots it touched, and
+        # every other request was a hit on its private pool
+        assert stats["misses"] == stats["buffers"] <= 4
+        assert stats["hits"] + stats["misses"] == n_rounds
+    # the main thread's pool is untouched by the storm
+    assert arena.stats()["buffers"] == 0
+
+
+def test_clear_is_per_thread():
+    arena = WorkspaceArena()
+    arena.buffer("k", (8,), np.float64)
+    assert arena.stats()["buffers"] == 1
+
+    cleared_elsewhere = threading.Event()
+
+    def other():
+        arena.buffer("k", (8,), np.float64)
+        arena.clear()
+        cleared_elsewhere.set()
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join(timeout=10.0)
+    assert cleared_elsewhere.is_set()
+    # another thread's clear() cannot drop this thread's buffers
+    assert arena.stats()["buffers"] == 1
