@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-strict test-threads lint reprolint mypy bench check
+.PHONY: test test-strict test-threads test-serve lint reprolint mypy bench check
 
 test:
 	python -m pytest -x -q
@@ -18,6 +18,14 @@ test-threads:
 		tests/nn/test_arena_threads.py \
 		-x -q
 	REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_concurrency.py -x -q
+
+test-serve:
+	REPRO_CHECK=strict python -m pytest \
+		tests/serve \
+		tests/engine/test_session_threads.py \
+		tests/cli/test_validation.py \
+		-x -q
+	REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_serve.py -x -q
 
 reprolint:
 	python -m repro.analysis.lint src tests

@@ -1,0 +1,209 @@
+"""Extension — serving latency/throughput of the detection daemon.
+
+:class:`repro.serve.DetectionServer` exists to amortize the per-clip
+feature-extraction cost across concurrent clients: submits arriving
+inside the coalescing window ride one batched extract→scale pass
+instead of paying the pipeline dispatch per request.  This bench
+measures what a client actually sees:
+
+* **latency** — p50/p99 request latency at 1, 4 and 16 concurrent
+  clients against a warm server with a cold feature cache;
+* **throughput** — sustained clips/sec per concurrency level;
+* **coalescing win** — the 16-client run repeated with micro-batching
+  disabled (``max_batch_clips`` = one request, zero coalescing delay)
+  to price the batched-vs-unbatched speedup.
+
+Outputs a table under ``benchmarks/out`` and ``BENCH_serve.json``.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.bench import format_table, write_report
+from repro.calibration.temperature import TemperatureScaler
+from repro.data.synth import EUV_RULES, generate_layout
+from repro.dataplane import BatchFeatureExtractor, DataPlaneConfig
+from repro.features import FeatureExtractor
+from repro.layout import extract_clip_grid
+from repro.model.classifier import HotspotClassifier
+from repro.serve import DetectionServer, ServeConfig
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+TILES = 6 if QUICK else 10
+CLIENT_COUNTS = (1, 4, 16)
+REQUESTS_PER_CLIENT = 2 if QUICK else 6
+REQUEST_CLIPS = 4 if QUICK else 8
+TRAIN_CLIPS = 16 if QUICK else 32
+
+
+def _clips():
+    layout = generate_layout(
+        EUV_RULES, tiles_x=TILES, tiles_y=TILES, stress_probability=0.3,
+        seed=13, name="bench-serve", target_ratio=0.08,
+    )
+    return extract_clip_grid(
+        layout, EUV_RULES.clip_size, EUV_RULES.core_margin, drop_empty=False
+    )
+
+
+def _fresh_plane():
+    return BatchFeatureExtractor(
+        FeatureExtractor(grid=96), DataPlaneConfig(chunk_size=64)
+    )
+
+
+def _train(clips):
+    plane = _fresh_plane()
+    tensors = plane.encode_batch(clips)
+    rng = np.random.default_rng(0)
+    labels = (rng.random(len(clips)) < 0.4).astype(np.int64)
+    labels[0] = 1
+    labels[1] = 0
+    clf = HotspotClassifier(
+        input_shape=plane.extractor.tensor_shape, arch="mlp",
+        epochs=2, seed=0,
+    )
+    clf.fit_scaler(tensors)
+    clf.fit(tensors, labels)
+    temperature = TemperatureScaler()
+    try:
+        temperature.fit(clf.predict_logits(tensors), labels)
+    except (ValueError, FloatingPointError):
+        temperature.temperature_ = 1.0
+    return clf, temperature
+
+
+def _drive(server, pool, n_clients):
+    """Run the client fleet; returns per-request latencies + wall."""
+    latencies = []
+    lock = threading.Lock()
+
+    def client(ix):
+        rng = np.random.default_rng(100 + ix)
+        for _ in range(REQUESTS_PER_CLIENT):
+            rows = rng.choice(len(pool), size=REQUEST_CLIPS, replace=False)
+            request = [pool[int(i)] for i in rows]
+            start = time.perf_counter()
+            server.submit(request, model="v1", timeout=600)
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=client, args=(ix,), daemon=True)
+        for ix in range(n_clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(600)
+    wall = time.perf_counter() - wall_start
+    assert len(latencies) == n_clients * REQUESTS_PER_CLIENT
+    return np.asarray(latencies), wall
+
+
+def _measure(clf, temperature, pool, n_clients, config):
+    """One serving run against a cold cache; summary stats."""
+    server = DetectionServer(_fresh_plane(), config)
+    server.register_model("v1", clf, temperature=temperature)
+    try:
+        latencies, wall = _drive(server, pool, n_clients)
+        stats = server.stats()
+    finally:
+        server.close()
+    total_clips = n_clients * REQUESTS_PER_CLIENT * REQUEST_CLIPS
+    return {
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "clips_per_sec": total_clips / wall,
+        "wall_seconds": wall,
+        "batches": stats["batches"],
+        "mean_batch_clips": stats["mean_batch_clips"],
+    }
+
+
+def run_serve_bench():
+    clips = _clips()
+    train, pool = clips[:TRAIN_CLIPS], clips[TRAIN_CLIPS:]
+    assert len(pool) >= REQUEST_CLIPS, "layout too small for the bench"
+    clf, temperature = _train(train)
+
+    batched = ServeConfig(max_batch_clips=256, max_delay_s=0.002)
+    # "unbatched" = every dispatch serves exactly one request
+    unbatched = ServeConfig(max_batch_clips=REQUEST_CLIPS, max_delay_s=0.0)
+
+    by_clients = {}
+    for n_clients in CLIENT_COUNTS:
+        by_clients[str(n_clients)] = _measure(
+            clf, temperature, pool, n_clients, batched
+        )
+
+    peak = max(CLIENT_COUNTS)
+    solo = _measure(clf, temperature, pool, peak, unbatched)
+
+    batched_rate = by_clients[str(peak)]["clips_per_sec"]
+    return {
+        "n_pool_clips": len(pool),
+        "request_clips": REQUEST_CLIPS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "by_clients": by_clients,
+        "unbatched_16": solo,
+        "batched_vs_unbatched_speedup": batched_rate / solo["clips_per_sec"],
+    }
+
+
+def test_serve_latency_throughput(benchmark):
+    stats = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
+
+    rows = []
+    for n_clients, entry in stats["by_clients"].items():
+        rows.append(
+            [
+                f"{n_clients} client(s)",
+                f"{entry['p50_ms']:.1f}",
+                f"{entry['p99_ms']:.1f}",
+                f"{entry['clips_per_sec']:.1f}",
+                f"{entry['mean_batch_clips']:.1f}",
+            ]
+        )
+    solo = stats["unbatched_16"]
+    rows.append(
+        [
+            "16 client(s), unbatched",
+            f"{solo['p50_ms']:.1f}",
+            f"{solo['p99_ms']:.1f}",
+            f"{solo['clips_per_sec']:.1f}",
+            f"{solo['mean_batch_clips']:.1f}",
+        ]
+    )
+    rows.append(
+        [
+            "batched vs unbatched",
+            "", "",
+            f"{stats['batched_vs_unbatched_speedup']:.2f}x",
+            "",
+        ]
+    )
+    text = format_table(
+        ["run", "p50 ms", "p99 ms", "clips/sec", "clips/batch"], rows
+    )
+    write_report("serve", text)
+
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "benchmarks/out")
+    with open(os.path.join(out_dir, "BENCH_serve.json"), "w") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+
+    # correctness gates only — latency/throughput are recorded, not
+    # asserted (machine-dependent); the micro-batcher must at least
+    # have coalesced more aggressively than the unbatched control
+    for entry in stats["by_clients"].values():
+        assert entry["p50_ms"] > 0
+        assert entry["clips_per_sec"] > 0
+    peak = stats["by_clients"][str(max(CLIENT_COUNTS))]
+    assert peak["mean_batch_clips"] >= solo["mean_batch_clips"]
+    assert stats["batched_vs_unbatched_speedup"] > 0

@@ -25,6 +25,16 @@ REPRO_CHECK=strict python -m pytest \
 echo "==> concurrency bench smoke (off-mode overhead < 1%)"
 REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_concurrency.py -x -q
 
+echo "==> serving smoke (daemon, session races, REPRO_CHECK=strict)"
+REPRO_CHECK=strict python -m pytest \
+    tests/serve \
+    tests/engine/test_session_threads.py \
+    tests/cli/test_validation.py \
+    -x -q
+
+echo "==> serving bench smoke (quick mode)"
+REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_serve.py -x -q
+
 echo "==> reprolint"
 python -m repro.analysis.lint src tests
 

@@ -3,13 +3,21 @@
 Three entry points mirror how a downstream user consumes the library:
 
 * ``repro-detect``   — run PSHD on a GLP layout file end to end.
+* ``repro-serve``    — batched detection daemon with demo clients.
 * ``repro-benchmark``— build / inspect the ICCAD-style benchmark suites.
 * ``repro-report``   — regenerate the paper's tables and figures.
 
 All are thin wrappers over the public API; see :mod:`repro.cli.main`.
 """
 
-from .main import benchmark_main, convert_main, detect_main, main, report_main
+from .main import (
+    benchmark_main,
+    convert_main,
+    detect_main,
+    main,
+    report_main,
+    serve_main,
+)
 
 __all__ = [
     "main",
@@ -17,4 +25,5 @@ __all__ = [
     "benchmark_main",
     "report_main",
     "convert_main",
+    "serve_main",
 ]

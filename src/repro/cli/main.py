@@ -23,7 +23,61 @@ __all__ = [
     "benchmark_main",
     "report_main",
     "convert_main",
+    "serve_main",
 ]
+
+
+# ----------------------------------------------------------------------
+# argument validation (parse-time, so bad values fail with a clear
+# argparse error instead of a cryptic crash deep inside the run)
+# ----------------------------------------------------------------------
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative number, got {value}"
+        )
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -40,21 +94,21 @@ def build_detect_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tech", type=int, default=None,
                         help="technology node in nm for GDS input "
                              "(GLP carries its own)")
-    parser.add_argument("--clip-size", type=int, default=None,
+    parser.add_argument("--clip-size", type=_positive_int, default=None,
                         help="clip window size in nm (default: per tech)")
-    parser.add_argument("--core-margin", type=int, default=None,
+    parser.add_argument("--core-margin", type=_positive_int, default=None,
                         help="core-region margin in nm (default: per tech)")
-    parser.add_argument("--grid", type=int, default=96,
+    parser.add_argument("--grid", type=_positive_int, default=96,
                         help="raster resolution in pixels (default 96)")
-    parser.add_argument("--iterations", type=int, default=6,
+    parser.add_argument("--iterations", type=_positive_int, default=6,
                         help="active-learning iterations (default 6)")
-    parser.add_argument("--batch", type=int, default=15,
+    parser.add_argument("--batch", type=_positive_int, default=15,
                         help="clips labeled per iteration (default 15)")
-    parser.add_argument("--query", type=int, default=120,
+    parser.add_argument("--query", type=_positive_int, default=120,
                         help="query-set size per iteration (default 120)")
-    parser.add_argument("--init-train", type=int, default=30,
+    parser.add_argument("--init-train", type=_positive_int, default=30,
                         help="initial training-set size (default 30)")
-    parser.add_argument("--val-size", type=int, default=24,
+    parser.add_argument("--val-size", type=_positive_int, default=24,
                         help="validation-set size (default 24)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--arch", choices=("mlp", "cnn"), default="mlp")
@@ -63,27 +117,27 @@ def build_detect_parser() -> argparse.ArgumentParser:
                         help="compute precision: 'exact' (default) is "
                              "bit-identical float64; 'fast' runs "
                              "inference and feature encoding in float32")
-    parser.add_argument("--workers", type=int, default=0,
+    parser.add_argument("--workers", type=_nonnegative_int, default=0,
                         help="data-plane pool width for extraction and "
                              "litho labeling (default 0 = in-process)")
-    parser.add_argument("--chunk-size", type=int, default=64,
+    parser.add_argument("--chunk-size", type=_positive_int, default=64,
                         help="clips per data-plane chunk (default 64)")
     parser.add_argument("--feature-cache", default=None, metavar="DIR",
                         help="directory of the on-disk feature cache "
                              "(default: in-memory tier only)")
-    parser.add_argument("--cache-shards", type=int, default=0,
+    parser.add_argument("--cache-shards", type=_nonnegative_int, default=0,
                         metavar="N",
                         help="shard the on-disk feature cache over N "
                              "subdirectories (default 0 = flat layout)")
-    parser.add_argument("--max-cache-bytes", type=int, default=None,
+    parser.add_argument("--max-cache-bytes", type=_positive_int, default=None,
                         metavar="B",
                         help="byte budget of the on-disk feature cache "
                              "with LRU eviction (default: unbounded)")
-    parser.add_argument("--tile-size", type=int, default=0, metavar="T",
+    parser.add_argument("--tile-size", type=_nonnegative_int, default=0, metavar="T",
                         help="run a tiled streaming full-chip scan with "
                              "the trained model, T clip windows per "
                              "tile edge (default 0 = off)")
-    parser.add_argument("--shards", type=int, default=1,
+    parser.add_argument("--shards", type=_positive_int, default=1,
                         help="work-stealing tile shards of the "
                              "streaming scan (default 1)")
     parser.add_argument("--scan-state", default=None, metavar="DIR",
@@ -98,7 +152,7 @@ def build_detect_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="write crash-safe run checkpoints to this "
                              "directory (default: no checkpointing)")
-    parser.add_argument("--checkpoint-every", type=int, default=1,
+    parser.add_argument("--checkpoint-every", type=_positive_int, default=1,
                         metavar="K",
                         help="iterations between checkpoints when "
                              "--checkpoint-dir is set (default 1)")
@@ -112,17 +166,17 @@ def build_detect_parser() -> argparse.ArgumentParser:
                         help="run-health supervision: sentinels + "
                              "bounded recovery + graceful degradation "
                              "(default on; --no-guard disables)")
-    parser.add_argument("--max-litho", type=int, default=None, metavar="N",
+    parser.add_argument("--max-litho", type=_positive_int, default=None, metavar="N",
                         help="litho-clip budget for the AL loop; with "
                              "the guard enabled an overrun degrades to "
                              "a graceful early stop (default: unlimited)")
-    parser.add_argument("--stage-timeout", type=float, default=None,
+    parser.add_argument("--stage-timeout", type=_positive_float, default=None,
                         metavar="SECONDS",
                         help="watchdog deadline per pooled "
                              "dataplane/litho chunk; a hung chunk is "
                              "cancelled and re-run serially "
                              "(default: no deadline)")
-    parser.add_argument("--chaos-faults", type=int, default=0, metavar="N",
+    parser.add_argument("--chaos-faults", type=_nonnegative_int, default=0, metavar="N",
                         help="inject N deterministic transient litho "
                              "faults into the ground-truth simulation "
                              "(robustness smoke testing)")
@@ -190,10 +244,10 @@ def detect_main(argv=None) -> int:
         bus.subscribe(ProgressPrinter())
 
     plane_cfg = DataPlaneConfig(
-        chunk_size=max(args.chunk_size, 1),
-        workers=max(args.workers, 0),
+        chunk_size=args.chunk_size,
+        workers=args.workers,
         disk_cache_dir=args.feature_cache,
-        disk_cache_shards=max(args.cache_shards, 0),
+        disk_cache_shards=args.cache_shards,
         max_disk_cache_bytes=args.max_cache_bytes,
         task_timeout=args.stage_timeout,
         precision=args.precision,
@@ -256,7 +310,7 @@ def detect_main(argv=None) -> int:
         dataplane=plane_cfg,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=(
-            max(args.checkpoint_every, 1) if args.checkpoint_dir else 0
+            args.checkpoint_every if args.checkpoint_dir else 0
         ),
         guard=GuardConfig(
             enabled=args.guard,
@@ -303,7 +357,7 @@ def detect_main(argv=None) -> int:
             dataplane=plane_cfg,
             stream=StreamConfig(
                 tile_clips=args.tile_size,
-                shards=max(args.shards, 1),
+                shards=args.shards,
                 state_dir=args.scan_state,
                 incremental=args.incremental,
             ),
@@ -473,15 +527,225 @@ def convert_main(argv=None) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro-serve
+# ----------------------------------------------------------------------
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Batched hotspot-detection daemon on a layout: "
+                    "quick-train a model, start the DetectionServer, "
+                    "and drive it with concurrent demo clients.",
+    )
+    parser.add_argument("layout",
+                        help="path to a layout file (.glp text or .gds)")
+    parser.add_argument("--tech", type=int, default=None,
+                        help="technology node in nm for GDS input "
+                             "(GLP carries its own)")
+    parser.add_argument("--grid", type=_positive_int, default=96,
+                        help="raster resolution in pixels (default 96)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--arch", choices=("mlp", "cnn"), default="mlp")
+    parser.add_argument("--precision", choices=("exact", "fast"),
+                        default="exact")
+    parser.add_argument("--train-clips", type=_positive_int, default=48,
+                        metavar="N",
+                        help="clips litho-labeled to train the served "
+                             "model (default 48)")
+    parser.add_argument("--epochs", type=_positive_int, default=6,
+                        help="training epochs of the served model "
+                             "(default 6)")
+    parser.add_argument("--clients", type=_positive_int, default=2,
+                        help="concurrent demo clients (default 2)")
+    parser.add_argument("--requests", type=_positive_int, default=4,
+                        metavar="M",
+                        help="requests per client (default 4)")
+    parser.add_argument("--request-clips", type=_positive_int, default=8,
+                        metavar="K",
+                        help="clips per request (default 8)")
+    parser.add_argument("--batch-clips", type=_positive_int, default=256,
+                        metavar="B",
+                        help="largest coalesced dispatch in clips "
+                             "(default 256)")
+    parser.add_argument("--delay-ms", type=_nonnegative_float, default=2.0,
+                        help="micro-batch coalescing window in "
+                             "milliseconds (default 2)")
+    parser.add_argument("--max-pending", type=_positive_int, default=2048,
+                        help="admission bound on queued clips "
+                             "(default 2048)")
+    parser.add_argument("--threshold", type=_nonnegative_float, default=0.5,
+                        help="hotspot verdict threshold on the "
+                             "calibrated probability (default 0.5)")
+    parser.add_argument("--max-litho", type=_positive_int, default=None,
+                        metavar="N",
+                        help="litho-clip budget shared by training and "
+                             "want-labels serving (default: unlimited)")
+    parser.add_argument("--chunk-size", type=_positive_int, default=64,
+                        help="clips per data-plane chunk (default 64)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request event lines")
+    return parser
+
+
+def serve_main(argv=None) -> int:
+    args = build_serve_parser().parse_args(argv)
+
+    import threading
+    import time
+
+    from ..calibration.temperature import TemperatureScaler
+    from ..data.synth import DUV_RULES, EUV_RULES
+    from ..dataplane import BatchFeatureExtractor, DataPlaneConfig
+    from ..engine import EventBus, ProgressPrinter
+    from ..engine.guard import GuardConfig, RunSupervisor
+    from ..features.pipeline import FeatureExtractor
+    from ..layout.clip import extract_clip_grid
+    from ..layout.gds import load_gds
+    from ..layout.glp import load_layout
+    from ..litho.labeler import LithoLabeler
+    from ..litho.simulator import LithoSimulator
+    from ..model.classifier import HotspotClassifier
+    from ..serve import DetectionServer, ServeConfig
+
+    try:
+        if str(args.layout).lower().endswith((".gds", ".gdsii")):
+            layout = load_gds(args.layout, tech_nm=args.tech or 28)
+        else:
+            layout = load_layout(args.layout)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.tech is not None:
+        layout.tech_nm = args.tech
+
+    rules = EUV_RULES if layout.tech_nm <= 10 else DUV_RULES
+    clips = extract_clip_grid(layout, rules.clip_size, rules.core_margin,
+                              drop_empty=False)
+    if len(clips) < args.train_clips + args.request_clips:
+        print(
+            f"error: only {len(clips)} clips; need at least "
+            f"{args.train_clips + args.request_clips} "
+            "(reduce --train-clips/--request-clips)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"layout {layout.name}: {len(clips)} clips, "
+          f"tech {layout.tech_nm} nm")
+
+    bus = EventBus()
+    if not args.quiet:
+        bus.subscribe(ProgressPrinter())
+
+    plane = BatchFeatureExtractor(
+        FeatureExtractor(grid=args.grid),
+        config=DataPlaneConfig(
+            chunk_size=args.chunk_size, precision=args.precision
+        ),
+        bus=bus,
+    )
+    simulator = LithoSimulator.for_tech(layout.tech_nm, grid=args.grid)
+    labeler = LithoLabeler(simulator, bus=bus,
+                           max_queries=args.max_litho)
+
+    # quick direct fit: litho-label a training slice, train, calibrate
+    train_clips = clips[: args.train_clips]
+    labels = np.asarray(labeler.label_batch(train_clips), dtype=np.int64)
+    tensors = plane.encode_batch(train_clips)
+    classifier = HotspotClassifier(
+        input_shape=plane.extractor.tensor_shape,
+        arch=args.arch,
+        epochs=args.epochs,
+        seed=args.seed,
+        precision=args.precision,
+    )
+    classifier.fit_scaler(tensors)
+    classifier.fit(tensors, labels)
+    temperature = TemperatureScaler()
+    try:
+        temperature.fit(classifier.predict_logits(tensors), labels)
+    except (ValueError, FloatingPointError):
+        temperature.temperature_ = 1.0  # identity fallback
+    print(f"model v1 trained on {len(train_clips)} clips "
+          f"({int(labels.sum())} hotspots, "
+          f"T={temperature.temperature_:.3f})")
+
+    supervisor = RunSupervisor(GuardConfig(max_litho=args.max_litho), bus)
+    supervisor.attach()
+    server = DetectionServer(
+        plane,
+        config=ServeConfig(
+            max_batch_clips=args.batch_clips,
+            max_delay_s=args.delay_ms / 1e3,
+            max_pending_clips=args.max_pending,
+            threshold=args.threshold,
+        ),
+        bus=bus,
+        labeler=labeler,
+        supervisor=supervisor,
+    )
+    server.register_model("v1", classifier, temperature)
+
+    serve_pool = clips[args.train_clips :]
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        rng = np.random.default_rng(args.seed + 1000 + index)
+        for _ in range(args.requests):
+            rows = rng.choice(len(serve_pool), size=args.request_clips,
+                              replace=False)
+            request = [serve_pool[int(r)] for r in rows]
+            started = time.perf_counter()
+            result = server.submit(request, model="v1", timeout=120.0)
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+            assert len(result.scores) == args.request_clips
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(args.clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+    wall = time.perf_counter() - wall_start
+    server.close(drain=True)
+    supervisor.detach()
+
+    if any(thread.is_alive() for thread in threads):
+        print("error: serve clients did not finish", file=sys.stderr)
+        return 1
+
+    stats = server.stats()
+    total_clips = args.clients * args.requests * args.request_clips
+    lat_ms = np.sort(np.asarray(latencies)) * 1e3
+    print(f"\nserved {stats['completed']} requests / {total_clips} clips "
+          f"in {wall:.2f}s ({total_clips / wall:.0f} clips/s)")
+    print(f"latency p50 {np.percentile(lat_ms, 50):.1f} ms, "
+          f"p99 {np.percentile(lat_ms, 99):.1f} ms")
+    print(f"dispatched {stats['batches']} batches, mean "
+          f"{stats['mean_batch_clips']:.1f} clips/batch")
+    for tenant, counters in sorted(stats["cache_tenants"].items()):
+        print(f"cache[{tenant}]: {counters['hits']} hits, "
+              f"{counters['misses']} misses")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # umbrella entry point
 # ----------------------------------------------------------------------
 
 def main(argv=None) -> int:
-    """Umbrella dispatcher: ``repro <detect|benchmark|report> ...``."""
+    """Umbrella dispatcher: ``repro <detect|serve|benchmark|...> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
-        print("usage: repro <detect|benchmark|report|convert> [options]\n"
+        print("usage: repro <detect|serve|benchmark|report|convert> "
+              "[options]\n"
               "  detect     run PSHD on a layout (.glp/.gds)\n"
+              "  serve      batched detection daemon + demo clients\n"
               "  benchmark  build ICCAD-style datasets\n"
               "  report     regenerate the paper's tables/figures\n"
               "  convert    convert between GLP and GDSII")
@@ -489,6 +753,8 @@ def main(argv=None) -> int:
     command, rest = argv[0], argv[1:]
     if command == "detect":
         return detect_main(rest)
+    if command == "serve":
+        return serve_main(rest)
     if command == "benchmark":
         return benchmark_main(rest)
     if command == "report":

@@ -132,10 +132,11 @@ class FeatureCache:
     #: byte budget of the disk tier (None = unbounded)
     max_disk_bytes: int | None = None
 
-    # class-level (not dataclass fields): the LRU structures may only
-    # be touched while self._lock is held
+    # class-level (not dataclass fields): the LRU structures and the
+    # per-tenant counters may only be touched while self._lock is held
     _memory = guarded_by("_lock")
     _disk_index = guarded_by("_lock")
+    _tenant = guarded_by("_lock")
 
     def __post_init__(self) -> None:
         if self.memory_items < 0:
@@ -157,6 +158,9 @@ class FeatureCache:
             #: key -> on-disk bytes, LRU-ordered (oldest first); the
             #: single source of truth for the byte budget
             self._disk_index = OrderedDict()  #: guarded_by: _lock
+            #: tenant name -> hit/miss/put counters; tenants are the
+            #: serving daemon's model versions sharing one cache
+            self._tenant = {}  #: guarded_by: _lock
             if self.disk_dir is not None:
                 self.disk_dir = Path(self.disk_dir)
                 self.disk_dir.mkdir(parents=True, exist_ok=True)
@@ -221,17 +225,22 @@ class FeatureCache:
         """Bytes currently accounted to the disk tier."""
         return self.stats.disk_bytes
 
-    def get(self, key: str) -> np.ndarray | None:
+    def get(
+        self, key: str, tenant: str | None = None
+    ) -> np.ndarray | None:
         """The cached array for ``key``, or ``None`` on a miss.
 
         Returned arrays are the cache's own storage — treat them as
         read-only (batch assembly copies them into the output anyway).
+        ``tenant`` additionally attributes the hit/miss to a named
+        cache tenant (see :meth:`tenant_stats`).
         """
         with self._lock:
             if key in self._memory:
                 trace_point("cache.get.hit")
                 self._memory.move_to_end(key)
                 self.stats.memory_hits += 1
+                self._tenant_note(tenant, "memory_hits")
                 return self._memory[key]
             if self.disk_dir is not None:
                 path = self._lookup_path(key)
@@ -245,21 +254,27 @@ class FeatureCache:
                         # so it cannot fail again on every future read
                         self._quarantine(key, path)
                         self.stats.misses += 1
+                        self._tenant_note(tenant, "misses")
                         return None
                     self.stats.disk_hits += 1
+                    self._tenant_note(tenant, "disk_hits")
                     if key in self._disk_index:
                         self._disk_index.move_to_end(key)
                     self._store_memory(key, array)
                     return array
             self.stats.misses += 1
+            self._tenant_note(tenant, "misses")
             trace_point("cache.get.miss")
             return None
 
-    def put(self, key: str, array: np.ndarray) -> None:
+    def put(
+        self, key: str, array: np.ndarray, tenant: str | None = None
+    ) -> None:
         """Insert ``array`` into every enabled tier."""
         array = np.asarray(array)
         with self._lock:
             self.stats.puts += 1
+            self._tenant_note(tenant, "puts")
             self._store_memory(key, array)
             if self.disk_dir is not None:
                 path = self._disk_path(key)
@@ -327,10 +342,14 @@ class FeatureCache:
         rebuilds the size/LRU index from disk, and re-applies the byte
         budget (``max_bytes`` overrides ``max_disk_bytes`` for this
         pass).  Returns a report dict; a no-disk cache compacts to an
-        empty report.
+        empty report.  Temp files that cannot be removed are counted in
+        ``failed_tmp`` (one ``cache_tmp_failed`` event each) instead of
+        vanishing silently — a persistently failing unlink means the
+        tier's directory needs operator attention.
         """
         report = {
             "removed_tmp": 0,
+            "failed_tmp": 0,
             "disk_evictions_before": self.stats.disk_evictions,
             "disk_bytes": 0,
             "entries": 0,
@@ -342,8 +361,12 @@ class FeatureCache:
             try:
                 tmp.unlink()
                 report["removed_tmp"] += 1
-            except OSError:
-                pass
+            except OSError as exc:
+                report["failed_tmp"] += 1
+                if self.bus is not None:
+                    self.bus.emit(
+                        "cache_tmp_failed", path=str(tmp), error=str(exc)
+                    )
         with self._lock:
             self._scan_disk()
             budget = (
@@ -372,6 +395,31 @@ class FeatureCache:
         if self.bus is not None:
             self.bus.emit("cache_corrupt", key=key, path=str(path))
 
+    def _tenant_note(self, tenant: str | None, field: str) -> None:  #: requires: _lock
+        """Attribute one counter bump to a named cache tenant."""
+        if tenant is None:
+            return
+        counters = self._tenant.get(tenant)
+        if counters is None:
+            counters = {
+                "memory_hits": 0, "disk_hits": 0, "misses": 0, "puts": 0,
+            }
+            self._tenant[tenant] = counters
+        counters[field] += 1
+
+    def tenant_stats(self) -> dict:
+        """Per-tenant hit/miss/put counters (tenants that never tagged
+        an access are absent).  The serving daemon keys tenants by model
+        version, so one shared cache stays attributable per model."""
+        with self._lock:
+            return {
+                tenant: dict(
+                    counters,
+                    hits=counters["memory_hits"] + counters["disk_hits"],
+                )
+                for tenant, counters in self._tenant.items()
+            }
+
     def _store_memory(self, key: str, array: np.ndarray) -> None:  #: requires: _lock
         if self.memory_items == 0:
             return
@@ -387,6 +435,7 @@ class FeatureCache:
         """Drop the memory tier and reset counters (disk is kept)."""
         with self._lock:
             self._memory.clear()
+            self._tenant = {}
             self.stats = CacheStats(
                 disk_bytes=sum(self._disk_index.values())
             )

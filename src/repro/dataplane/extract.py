@@ -107,6 +107,11 @@ class BatchFeatureExtractor:
             )
         )
         self.bus = bus
+        #: optional cache-tenant tag: when set, every cache access of
+        #: this plane is attributed to that tenant in the shared
+        #: cache's per-tenant stats (the serving daemon sets it to the
+        #: dispatched model version from its single dispatcher thread)
+        self.tenant: str | None = None
 
     def _watchdog_fired(self, chunk_index: int) -> None:
         """A pooled extraction chunk hung past the deadline and was
@@ -201,9 +206,13 @@ class BatchFeatureExtractor:
                 positions[key].append(pos)
                 continue
             positions[key] = [pos]
-            tensor = self.cache.get(feature_key(key, params, "tensor"))
+            tensor = self.cache.get(
+                feature_key(key, params, "tensor"), tenant=self.tenant
+            )
             flat = (
-                self.cache.get(feature_key(key, params, "flat"))
+                self.cache.get(
+                    feature_key(key, params, "flat"), tenant=self.tenant
+                )
                 if want_flat
                 else None
             )
@@ -239,12 +248,14 @@ class BatchFeatureExtractor:
                 pos = pending[key]
                 tensors[pos] = chunk_tensors[i]
                 self.cache.put(
-                    feature_key(key, params, "tensor"), chunk_tensors[i]
+                    feature_key(key, params, "tensor"), chunk_tensors[i],
+                    tenant=self.tenant,
                 )
                 if want_flat:
                     flats[pos] = chunk_flats[i]
                     self.cache.put(
-                        feature_key(key, params, "flat"), chunk_flats[i]
+                        feature_key(key, params, "flat"), chunk_flats[i],
+                        tenant=self.tenant,
                     )
                 cursor += 1
 

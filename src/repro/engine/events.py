@@ -60,6 +60,11 @@ labelers rather than the framework stages):
 ``cache_evicted``
     ``key, bytes, disk_bytes, max_disk_bytes`` — the disk tier evicted
     its least-recently-used entry to stay inside the byte budget.
+``cache_tmp_failed``
+    ``path, error`` — :meth:`~repro.dataplane.cache.FeatureCache.compact`
+    could not remove a leftover ``*.tmp`` file from an interrupted
+    write; the failure is also counted in the compaction report's
+    ``failed_tmp`` field.
 
 Streaming-scan events (see :mod:`repro.dataplane.stream`):
 
@@ -75,6 +80,22 @@ Streaming-scan events (see :mod:`repro.dataplane.stream`):
     replayed_clips, rescored_clips, steals, scan_seconds`` — once after
     the last tile; the summary half of a
     :class:`~repro.dataplane.stream.ScanReport`.
+
+Serving events (see :mod:`repro.serve`):
+
+``request_received``
+    ``model, n_clips, queue_depth`` — one per detection request
+    accepted into the daemon's micro-batching queue (rejected requests
+    surface as ``health_alert`` instead).
+``batch_dispatched``
+    ``model, n_requests, n_clips, queue_depth`` — the dispatcher
+    coalesced queued requests of one model into a single
+    extract→scale→predict→calibrate pipeline pass.
+``request_completed``
+    ``model, n_clips, n_hotspots, coalesced, serve_seconds`` — one per
+    finished request; ``coalesced`` is the clip count of the dispatched
+    batch the request rode in (equal to ``n_clips`` when it rode
+    alone).
 
 Run-health events (see :mod:`repro.engine.guard`):
 
@@ -127,9 +148,13 @@ EVENT_KINDS = (
     "labels_computed",
     "cache_corrupt",
     "cache_evicted",
+    "cache_tmp_failed",
     "scan_started",
     "tile_scanned",
     "scan_completed",
+    "request_received",
+    "batch_dispatched",
+    "request_completed",
     "health_alert",
     "recovery_applied",
     "degraded_mode",
@@ -341,6 +366,29 @@ class ProgressPrinter:
                 f"  cache: evicted {payload['key']} "
                 f"({payload['bytes']} B; tier at "
                 f"{payload['disk_bytes']}/{payload['max_disk_bytes']} B)"
+            )
+        elif event.kind == "cache_tmp_failed":
+            line = (
+                f"  cache: could not remove temp file "
+                f"{payload['path']} ({payload['error']})"
+            )
+        elif event.kind == "request_received":
+            line = (
+                f"  serve: request for {payload['n_clips']} clips "
+                f"(model {payload['model']}, "
+                f"queue {payload['queue_depth']})"
+            )
+        elif event.kind == "batch_dispatched":
+            line = (
+                f"  serve: dispatched {payload['n_requests']} requests "
+                f"/ {payload['n_clips']} clips (model {payload['model']})"
+            )
+        elif event.kind == "request_completed":
+            line = (
+                f"  serve: {payload['n_hotspots']} hotspots in "
+                f"{payload['n_clips']} clips "
+                f"(coalesced {payload['coalesced']}, "
+                f"{payload['serve_seconds'] * 1e3:.1f} ms)"
             )
         elif event.kind == "scan_started":
             line = (

@@ -31,6 +31,10 @@ sentinel               policy (and degraded fallback)
 ``pool_watchdog``      hung pooled chunk cancelled at the deadline,
                        chunk re-runs serially (emitted by the data
                        plane, recorded here)
+``serve_overload``     the serving daemon shed a request at admission
+                       (queue or litho budget cannot absorb it); the
+                       client gets an ``AdmissionError`` and retries
+                       later
 =====================  =============================================
 
 Every trip emits typed bus events (``health_alert`` →
@@ -543,6 +547,17 @@ class RunSupervisor:
             iteration=iteration,
         )
         return chosen.astype(np.int64), {"fallback": "random_selection"}
+
+    # ------------------------------------------------------------------
+    # serving admission (repro.serve)
+    # ------------------------------------------------------------------
+    def overloaded(self, detail: str, stage: str = "serve", **extra) -> None:
+        """Record a shed serving request (queue overflow or a litho
+        budget the request would overrun).  Shedding *is* the bounded
+        recovery — the daemon stays healthy and the client retries —
+        so no degraded mode is entered."""
+        self._alert("serve_overload", stage=stage, detail=detail, **extra)
+        self._recovery("shed_load", "serve_overload", stage=stage, **extra)
 
     # ------------------------------------------------------------------
     # litho budget (Definition 3)

@@ -7,13 +7,25 @@ Standardizing the input is a per-element affine map, so the session
 scales the whole pool **once per scaler fit** and serves every later
 request from the cached tensor — ``TensorScaler.transform`` disappears
 from the hot loop.  The cache keys on ``HotspotClassifier.scaler_version``
-and refreshes automatically when the scaler is refitted.
+*and* the classifier's compute dtype, and refreshes automatically when
+the scaler is refitted or the precision policy is swapped.
+
+Thread safety: the serving daemon (:mod:`repro.serve`) and its clients
+share one warm session per model, so the refresh is no longer a
+single-thread affair.  The ``_scaled``/``_scaled_key`` pair is declared
+:func:`~repro.analysis.concurrency.guarded_by` a re-entrant tracked
+lock and the whole check-then-refresh runs inside the critical section
+— the historical unlocked check-then-act (two threads both observing a
+stale version and recomputing/assigning concurrently) is replayed
+deterministically in ``tests/engine/test_session_threads.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.concurrency import TrackedRLock, guarded_by
+from ..analysis.interleave import trace_point
 from ..model.classifier import FullPrediction, HotspotClassifier
 
 __all__ = ["InferenceSession"]
@@ -30,20 +42,41 @@ class InferenceSession:
     tensors:
         The full ``(N, C, H, W)`` pool the run operates on (e.g.
         ``ClipDataset.tensors``).  Index arguments below refer to rows
-        of this tensor.
+        of this tensor.  A serving session may hold an empty pool and
+        score ad-hoc tensors through :meth:`predict_tensors`.
     """
+
+    # class-level (not instance fields): the scaled-pool cache may only
+    # be touched while self._lock is held
+    _scaled = guarded_by("_lock")
+    _scaled_key = guarded_by("_lock")
 
     def __init__(
         self, classifier: HotspotClassifier, tensors: np.ndarray
     ) -> None:
         self.classifier = classifier
         self.tensors = np.asarray(tensors, dtype=np.float64)
-        self._scaled: np.ndarray | None = None
-        self._scaled_version: int | None = None
+        self._lock = TrackedRLock("inference-session")
+        with self._lock:
+            self._scaled = None  #: guarded_by: _lock
+            self._scaled_key = None  #: guarded_by: _lock
 
     # ------------------------------------------------------------------
     # scaled-tensor cache
     # ------------------------------------------------------------------
+    def _policy(self):
+        # duck-typed classifiers (e.g. CommitteeClassifier) may not
+        # carry a precision policy; they get the exact float64 path
+        return getattr(self.classifier, "policy", None)
+
+    def _cache_key(self) -> tuple[int, str]:
+        """Identity of the cached scaled pool: scaler fit *and* compute
+        dtype — a precision swap on the classifier must refresh the
+        cache, not serve a stale-dtype tensor."""
+        policy = self._policy()
+        dtype = "float64" if policy is None else str(policy.compute_dtype)
+        return (self.classifier.scaler_version, dtype)
+
     @property
     def scaled(self) -> np.ndarray:
         """The whole pool, standardized — computed once per scaler fit.
@@ -51,27 +84,27 @@ class InferenceSession:
         Held in the classifier's compute dtype (float64 exact, float32
         fast), so prescaled prediction calls need no per-request cast.
         """
-        version = self.classifier.scaler_version
-        if self._scaled is None or self._scaled_version != version:
-            # duck-typed classifiers (e.g. CommitteeClassifier) may not
-            # carry a precision policy; they get the exact float64 path
-            self._scaled = self.classifier.scaler.transform(
-                self.tensors, policy=getattr(self.classifier, "policy", None)
-            )
-            self._scaled_version = version
-        return self._scaled
+        key = self._cache_key()
+        with self._lock:
+            if self._scaled is None or self._scaled_key != key:
+                trace_point("session.scaled.stale")
+                self._scaled = self.classifier.scaler.transform(
+                    self.tensors, policy=self._policy()
+                )
+                self._scaled_key = key
+            return self._scaled
 
     def invalidate(self) -> None:
         """Drop the cache (forces a re-scale on next access)."""
-        self._scaled = None
-        self._scaled_version = None
+        with self._lock:
+            self._scaled = None
+            self._scaled_key = None
 
     @property
     def cache_valid(self) -> bool:
-        return (
-            self._scaled is not None
-            and self._scaled_version == self.classifier.scaler_version
-        )
+        key = self._cache_key()
+        with self._lock:
+            return self._scaled is not None and self._scaled_key == key
 
     def _slice(self, indices: np.ndarray | None) -> np.ndarray:
         if indices is None:
@@ -131,4 +164,28 @@ class InferenceSession:
         logits are needed as well)."""
         return self.classifier.embeddings(
             self._slice(indices), normalize=normalize, prescaled=True
+        )
+
+    # ------------------------------------------------------------------
+    # ad-hoc tensors (the serving path)
+    # ------------------------------------------------------------------
+    def scale_tensors(self, tensors: np.ndarray) -> np.ndarray:
+        """Standardize ad-hoc clip tensors (not pool rows) into the
+        classifier's compute dtype.
+
+        The scaler map is a per-element affine transform, so rows of a
+        coalesced batch are bit-identical to the same rows scaled one
+        request at a time — the property :mod:`repro.serve` relies on.
+        """
+        return self.classifier.scaler.transform(
+            np.asarray(tensors, dtype=np.float64), policy=self._policy()
+        )
+
+    def predict_tensors(
+        self, tensors: np.ndarray, normalize: bool = True
+    ) -> FullPrediction:
+        """Logits + embeddings for ad-hoc tensors through the prescaled
+        fast path (one scaler pass + one forward tap, no pool cache)."""
+        return self.classifier.predict_full(
+            self.scale_tensors(tensors), normalize=normalize, prescaled=True
         )

@@ -1,0 +1,29 @@
+"""Batched hotspot-detection daemon (the request-facing serving layer).
+
+:class:`DetectionServer` keeps warm per-model
+:class:`~repro.engine.session.InferenceSession`\\ s, one shared
+:class:`~repro.dataplane.cache.FeatureCache`, and a micro-batching
+request queue: concurrent :meth:`~DetectionServer.submit` calls are
+coalesced into batched extract → scale → predict → calibrate pipeline
+passes, with admission control tied to the litho budget and the
+:class:`~repro.engine.guard.RunSupervisor` machinery.  See
+:mod:`repro.serve.server` for the full design notes.
+"""
+
+from .server import (
+    AdmissionError,
+    DetectionServer,
+    ServeConfig,
+    ServeError,
+    ServeResult,
+    ServerClosed,
+)
+
+__all__ = [
+    "AdmissionError",
+    "DetectionServer",
+    "ServeConfig",
+    "ServeError",
+    "ServeResult",
+    "ServerClosed",
+]

@@ -9,6 +9,7 @@ from repro.cli import (
     detect_main,
     main,
     report_main,
+    serve_main,
 )
 from repro.data.synth import EUV_RULES, generate_layout
 from repro.layout import save_layout
@@ -144,6 +145,42 @@ class TestDetect:
         )
         assert code == 2
         assert "checkpoint" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_end_to_end(self, small_glp, capsys):
+        code = serve_main(
+            [small_glp, "--train-clips", "24", "--epochs", "2",
+             "--clients", "2", "--requests", "2", "--request-clips", "4",
+             "--seed", "0", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4 requests / 16 clips" in out
+        assert "latency p50" in out
+        assert "clips/batch" in out
+
+    def test_umbrella_dispatches_serve(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        assert "--clients" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        code = serve_main(["/nonexistent/chip.glp"])
+        assert code == 2
+        assert "chip.glp" in capsys.readouterr().err
+
+    def test_too_few_clips(self, tmp_path, capsys):
+        layout = generate_layout(
+            EUV_RULES, tiles_x=2, tiles_y=2, stress_probability=0.3,
+            seed=3, name="tiny", target_ratio=0.1,
+        )
+        path = tmp_path / "tiny.glp"
+        save_layout(layout, path)
+        code = serve_main([str(path), "--train-clips", "24"])
+        assert code == 2
+        assert "clips" in capsys.readouterr().err
 
 
 class TestBenchmark:

@@ -1,0 +1,106 @@
+"""Argument validation of the ``repro`` CLI parsers.
+
+Regression tests for the silent-clamp bug: ``--shards 0``,
+``--batch 0`` and friends used to be accepted at parse time and
+clamped (or crash) deep inside the run — now argparse rejects them
+with a clear message and exit code 2.
+"""
+
+import pytest
+
+from repro.cli.main import build_detect_parser, build_serve_parser
+
+
+def _parse_detect(extra):
+    return build_detect_parser().parse_args(["layout.glp", *extra])
+
+
+class TestDetectValidation:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--batch", "0"],
+            ["--batch", "-3"],
+            ["--shards", "0"],
+            ["--shards", "-1"],
+            ["--chunk-size", "0"],
+            ["--iterations", "0"],
+            ["--query", "0"],
+            ["--init-train", "0"],
+            ["--val-size", "-2"],
+            ["--grid", "0"],
+            ["--clip-size", "-100"],
+            ["--workers", "-1"],
+            ["--cache-shards", "-4"],
+            ["--tile-size", "-1"],
+            ["--checkpoint-every", "0"],
+            ["--max-litho", "0"],
+            ["--max-cache-bytes", "-5"],
+            ["--stage-timeout", "0"],
+            ["--stage-timeout", "-0.5"],
+        ],
+    )
+    def test_rejects_non_positive_values(self, flags, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse_detect(flags)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert flags[0] in err
+        assert "expected a" in err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--batch", "two"],
+            ["--shards", "1.5"],
+            ["--workers", "many"],
+            ["--stage-timeout", "soon"],
+        ],
+    )
+    def test_rejects_non_numeric_values(self, flags, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse_detect(flags)
+        assert exc.value.code == 2
+        assert "is not a" in capsys.readouterr().err
+
+    def test_accepts_valid_values(self):
+        args = _parse_detect(
+            [
+                "--batch", "5", "--shards", "2", "--workers", "0",
+                "--tile-size", "0", "--cache-shards", "0",
+                "--stage-timeout", "1.5",
+            ]
+        )
+        assert args.batch == 5
+        assert args.shards == 2
+        assert args.workers == 0  # zero means in-process, still legal
+        assert args.tile_size == 0
+        assert args.stage_timeout == 1.5
+
+
+class TestServeValidation:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--clients", "0"],
+            ["--requests", "-1"],
+            ["--request-clips", "0"],
+            ["--batch-clips", "0"],
+            ["--delay-ms", "-1"],
+            ["--max-pending", "0"],
+            ["--train-clips", "0"],
+            ["--epochs", "0"],
+            ["--max-litho", "0"],
+        ],
+    )
+    def test_rejects_bad_values(self, flags, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_serve_parser().parse_args(["layout.glp", *flags])
+        assert exc.value.code == 2
+        assert flags[0] in capsys.readouterr().err
+
+    def test_defaults_parse(self):
+        args = build_serve_parser().parse_args(["layout.glp"])
+        assert args.clients == 2
+        assert args.batch_clips == 256
+        assert args.threshold == 0.5

@@ -301,3 +301,73 @@ class TestCompaction:
     def test_no_disk_tier_compacts_to_empty_report(self):
         report = FeatureCache().compact()
         assert report["entries"] == 0
+        assert report["failed_tmp"] == 0
+
+    def test_counts_and_reports_failed_tmp_removals(
+        self, tmp_path, monkeypatch
+    ):
+        """An undeletable tmp file must not be silently swallowed: the
+        report counts it and a ``cache_tmp_failed`` event fires."""
+        from pathlib import Path
+
+        from repro.engine.events import EventBus, EventLog
+
+        bus = EventBus()
+        log = bus.subscribe(EventLog())
+        cache = FeatureCache(disk_dir=tmp_path, bus=bus)
+        cache.put("00000000", np.arange(4.0))
+        (tmp_path / "stuck.tmp").write_bytes(b"torn")
+
+        real_unlink = Path.unlink
+
+        def failing_unlink(self, *args, **kwargs):
+            if self.suffix == ".tmp":
+                raise OSError("unlink denied")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", failing_unlink)
+        report = cache.compact()
+        assert report["failed_tmp"] == 1
+        assert report["removed_tmp"] == 0
+        failures = log.of_kind("cache_tmp_failed")
+        assert len(failures) == 1
+        assert failures[0].payload["path"].endswith("stuck.tmp")
+        assert "unlink denied" in failures[0].payload["error"]
+
+        # once the filesystem recovers the same compact cleans up
+        monkeypatch.undo()
+        report = cache.compact()
+        assert report["removed_tmp"] == 1
+        assert report["failed_tmp"] == 0
+
+
+class TestTenantStats:
+    def test_counters_attributed_per_tenant(self):
+        cache = FeatureCache(memory_items=4)
+        cache.put("aaaa", np.ones(2), tenant="v1")
+        assert cache.get("aaaa", tenant="v1") is not None
+        assert cache.get("miss", tenant="v2") is None
+        assert cache.get("aaaa") is not None  # untagged: not attributed
+
+        stats = cache.tenant_stats()
+        assert stats["v1"] == {
+            "memory_hits": 1, "disk_hits": 0, "misses": 0, "puts": 1,
+            "hits": 1,
+        }
+        assert stats["v2"]["misses"] == 1
+        assert stats["v2"]["hits"] == 0
+
+    def test_disk_hits_attributed(self, tmp_path):
+        cache = FeatureCache(memory_items=1, disk_dir=tmp_path)
+        cache.put("aaaa", np.ones(2), tenant="v1")
+        cache.put("bbbb", np.zeros(2), tenant="v1")  # evicts aaaa
+        assert cache.get("aaaa", tenant="v1") is not None  # disk tier
+        stats = cache.tenant_stats()["v1"]
+        assert stats["disk_hits"] == 1
+        assert stats["puts"] == 2
+
+    def test_clear_resets_tenant_stats(self):
+        cache = FeatureCache(memory_items=2)
+        cache.put("aaaa", np.ones(2), tenant="v1")
+        cache.clear()
+        assert cache.tenant_stats() == {}

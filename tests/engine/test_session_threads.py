@@ -1,0 +1,154 @@
+"""Concurrency regression tests of :class:`InferenceSession`.
+
+The centrepiece is a *deterministic* replay of the historical
+``scaled`` cache race: the refresh was an unlocked check-then-act, so
+two threads could both observe a stale cache and both recompute/assign
+the scaled pool.  The interleaving harness reproduces that window on
+every run against an unlocked session (proving the schedule really is
+the race) and shows the same adversarial schedule degrades into a legal
+ordering on the locked session (proving the fix) — mirroring
+``tests/dataplane/test_cache_threads.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interleave import InterleaveScheduler
+from repro.engine.session import InferenceSession
+from repro.model.classifier import HotspotClassifier
+from repro.nn.runtime import PrecisionPolicy
+
+#: the adversarial schedule: pin thread ``a`` right after its staleness
+#: check succeeds (the duplicate entry holds it at the point), let
+#: ``b``'s check also pass, then resume ``a`` — both recompute
+RACE_SCHEDULE = [
+    ("a", "session.scaled.stale"),
+    ("b", "session.scaled.stale"),
+    ("a", "session.scaled.stale"),
+]
+
+
+class _NullLock:
+    """Stand-in that deliberately provides no mutual exclusion — used
+    to re-create the pre-fix session for the regression test."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def held(self):  # satisfies guarded_by under any mode
+        return True
+
+
+class _CountingScaler:
+    """Wraps the fitted scaler, counting ``transform`` calls — the
+    double compute is the observable symptom of the race."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def transform(self, x, policy=None):
+        self.calls += 1
+        return self.inner.transform(x, policy=policy)
+
+
+def _pool(n=12):
+    return np.random.default_rng(3).normal(size=(n, 3, 6, 6))
+
+
+def _classifier(pool, precision="exact"):
+    clf = HotspotClassifier(
+        input_shape=pool.shape[1:], arch="mlp", precision=precision
+    )
+    clf.fit_scaler(pool)
+    clf.scaler = _CountingScaler(clf.scaler)
+    return clf
+
+
+def _race_once(session) -> InterleaveScheduler:
+    sched = InterleaveScheduler(RACE_SCHEDULE, timeout=10.0)
+    sched.run(
+        {
+            "a": lambda: session.scaled,
+            "b": lambda: session.scaled,
+        }
+    )
+    return sched
+
+
+def test_unlocked_session_race_reproduces_every_run(monkeypatch):
+    """The seeded pre-fix race is caught 100% of runs, not as a flake:
+    both threads pass the staleness check and both pay the transform."""
+    monkeypatch.setenv("REPRO_CHECK", "off")
+    pool = _pool()
+    for attempt in range(5):
+        clf = _classifier(pool)
+        session = InferenceSession(clf, pool)
+        session._lock = _NullLock()
+        sched = _race_once(session)
+        assert sched.errors == {}, f"run {attempt}: {sched.errors!r}"
+        assert clf.scaler.calls == 2, (
+            f"run {attempt}: expected both threads to recompute the "
+            f"scaled pool, saw {clf.scaler.calls} transform call(s)"
+        )
+
+
+def test_locked_session_survives_the_same_schedule(monkeypatch):
+    """Post-fix, lock-blocked deferral turns the adversarial schedule
+    into a legal interleaving: ``b`` blocks on the session lock, enters
+    after ``a`` filled the cache, and serves the cached tensor."""
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    pool = _pool()
+    for attempt in range(5):
+        clf = _classifier(pool)
+        session = InferenceSession(clf, pool)
+        sched = _race_once(session)
+        assert sched.errors == {}, f"run {attempt}: {sched.errors!r}"
+        assert clf.scaler.calls == 1, (
+            f"run {attempt}: expected one transform under the lock, "
+            f"saw {clf.scaler.calls}"
+        )
+        # both threads see the identical cached object
+        assert sched.results["a"] is sched.results["b"]
+
+
+def test_precision_swap_refreshes_the_cache():
+    """The cache keys on compute dtype, not just scaler_version — a
+    precision swap must re-scale, never serve a stale-dtype tensor."""
+    pool = _pool()
+    clf = _classifier(pool)
+    session = InferenceSession(clf, pool)
+
+    exact = session.scaled
+    assert exact.dtype == np.float64
+    assert session.cache_valid
+
+    clf.policy = PrecisionPolicy("fast")
+    assert not session.cache_valid
+    fast = session.scaled
+    assert fast.dtype == np.float32
+    assert clf.scaler.calls == 2
+
+    clf.policy = PrecisionPolicy("exact")
+    assert session.scaled.dtype == np.float64
+
+
+def test_guarded_attributes_reject_unlocked_access(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "strict")
+    from repro.analysis.concurrency import LockDisciplineError
+    from repro.analysis.modes import set_check_mode
+
+    previous = set_check_mode("strict")
+    try:
+        pool = _pool(4)
+        clf = _classifier(pool)
+        session = InferenceSession(clf, pool)
+        with pytest.raises(LockDisciplineError, match="without holding"):
+            session._scaled
+        with session._lock:
+            assert session._scaled is None
+    finally:
+        set_check_mode(previous)
