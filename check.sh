@@ -35,6 +35,16 @@ REPRO_CHECK=strict python -m pytest \
 echo "==> serving bench smoke (quick mode)"
 REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_serve.py -x -q
 
+echo "==> transport chaos smoke (faults, breaker, reconnect; strict)"
+REPRO_CHECK=strict python -m pytest \
+    tests/serve/test_transport.py \
+    tests/serve/test_transport_chaos.py \
+    tests/serve/test_transport_reconnect.py \
+    -x -q
+
+echo "==> transport bench smoke (quick mode)"
+REPRO_BENCH_QUICK=1 python -m pytest benchmarks/bench_transport.py -x -q
+
 echo "==> reprolint"
 python -m repro.analysis.lint src tests
 

@@ -3,7 +3,9 @@
 Three entry points mirror how a downstream user consumes the library:
 
 * ``repro-detect``   — run PSHD on a GLP layout file end to end.
-* ``repro-serve``    — batched detection daemon with demo clients.
+* ``repro-serve``    — batched detection daemon (demo clients, or a
+  framed socket transport with ``--listen``).
+* ``repro-query``    — remote client of a ``--listen`` daemon.
 * ``repro-benchmark``— build / inspect the ICCAD-style benchmark suites.
 * ``repro-report``   — regenerate the paper's tables and figures.
 
@@ -15,6 +17,7 @@ from .main import (
     convert_main,
     detect_main,
     main,
+    query_main,
     report_main,
     serve_main,
 )
@@ -26,4 +29,5 @@ __all__ = [
     "report_main",
     "convert_main",
     "serve_main",
+    "query_main",
 ]

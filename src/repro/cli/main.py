@@ -13,6 +13,7 @@ the on-disk cache) and prints Table-I statistics.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -24,6 +25,7 @@ __all__ = [
     "report_main",
     "convert_main",
     "serve_main",
+    "query_main",
 ]
 
 
@@ -76,6 +78,18 @@ def _nonnegative_float(text: str) -> float:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"expected a non-negative number, got {value}"
+        )
+    return value
+
+
+def _port(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if not 1 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"expected a port in [1, 65535], got {value}"
         )
     return value
 
@@ -582,6 +596,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "want-labels serving (default: unlimited)")
     parser.add_argument("--chunk-size", type=_positive_int, default=64,
                         help="clips per data-plane chunk (default 64)")
+    parser.add_argument("--listen", default=None, metavar="HOST",
+                        help="serve over the network: bind this host "
+                             "and accept framed socket requests until "
+                             "SIGTERM (default: in-process demo mode)")
+    parser.add_argument("--port", type=_port, default=7643,
+                        help="TCP port of --listen mode (default 7643)")
+    parser.add_argument("--max-connections", type=_positive_int,
+                        default=32, metavar="N",
+                        help="live-connection cap; further connections "
+                             "are shed with a retryable error frame "
+                             "(default 32)")
+    parser.add_argument("--read-timeout", type=_positive_float,
+                        default=30.0, metavar="SECONDS",
+                        help="per-connection read deadline (default 30)")
+    parser.add_argument("--write-timeout", type=_positive_float,
+                        default=30.0, metavar="SECONDS",
+                        help="per-connection write deadline (default 30)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request event lines")
     return parser
@@ -593,19 +624,12 @@ def serve_main(argv=None) -> int:
     import threading
     import time
 
-    from ..calibration.temperature import TemperatureScaler
-    from ..data.synth import DUV_RULES, EUV_RULES
-    from ..dataplane import BatchFeatureExtractor, DataPlaneConfig
     from ..engine import EventBus, ProgressPrinter
     from ..engine.guard import GuardConfig, RunSupervisor
-    from ..features.pipeline import FeatureExtractor
-    from ..layout.clip import extract_clip_grid
     from ..layout.gds import load_gds
     from ..layout.glp import load_layout
-    from ..litho.labeler import LithoLabeler
-    from ..litho.simulator import LithoSimulator
-    from ..model.classifier import HotspotClassifier
-    from ..serve import DetectionServer, ServeConfig
+    from ..serve import ServeConfig
+    from ..serve.bootstrap import bootstrap_server
 
     try:
         if str(args.layout).lower().endswith((".gds", ".gdsii")):
@@ -618,74 +642,78 @@ def serve_main(argv=None) -> int:
     if args.tech is not None:
         layout.tech_nm = args.tech
 
-    rules = EUV_RULES if layout.tech_nm <= 10 else DUV_RULES
-    clips = extract_clip_grid(layout, rules.clip_size, rules.core_margin,
-                              drop_empty=False)
-    if len(clips) < args.train_clips + args.request_clips:
-        print(
-            f"error: only {len(clips)} clips; need at least "
-            f"{args.train_clips + args.request_clips} "
-            "(reduce --train-clips/--request-clips)",
-            file=sys.stderr,
-        )
-        return 2
-    print(f"layout {layout.name}: {len(clips)} clips, "
-          f"tech {layout.tech_nm} nm")
-
     bus = EventBus()
     if not args.quiet:
         bus.subscribe(ProgressPrinter())
 
-    plane = BatchFeatureExtractor(
-        FeatureExtractor(grid=args.grid),
-        config=DataPlaneConfig(
-            chunk_size=args.chunk_size, precision=args.precision
-        ),
-        bus=bus,
-    )
-    simulator = LithoSimulator.for_tech(layout.tech_nm, grid=args.grid)
-    labeler = LithoLabeler(simulator, bus=bus,
-                           max_queries=args.max_litho)
-
-    # quick direct fit: litho-label a training slice, train, calibrate
-    train_clips = clips[: args.train_clips]
-    labels = np.asarray(labeler.label_batch(train_clips), dtype=np.int64)
-    tensors = plane.encode_batch(train_clips)
-    classifier = HotspotClassifier(
-        input_shape=plane.extractor.tensor_shape,
-        arch=args.arch,
-        epochs=args.epochs,
-        seed=args.seed,
-        precision=args.precision,
-    )
-    classifier.fit_scaler(tensors)
-    classifier.fit(tensors, labels)
-    temperature = TemperatureScaler()
-    try:
-        temperature.fit(classifier.predict_logits(tensors), labels)
-    except (ValueError, FloatingPointError):
-        temperature.temperature_ = 1.0  # identity fallback
-    print(f"model v1 trained on {len(train_clips)} clips "
-          f"({int(labels.sum())} hotspots, "
-          f"T={temperature.temperature_:.3f})")
-
     supervisor = RunSupervisor(GuardConfig(max_litho=args.max_litho), bus)
     supervisor.attach()
-    server = DetectionServer(
-        plane,
-        config=ServeConfig(
-            max_batch_clips=args.batch_clips,
-            max_delay_s=args.delay_ms / 1e3,
-            max_pending_clips=args.max_pending,
-            threshold=args.threshold,
-        ),
-        bus=bus,
-        labeler=labeler,
-        supervisor=supervisor,
-    )
-    server.register_model("v1", classifier, temperature)
+    try:
+        booted = bootstrap_server(
+            layout,
+            train_clips=args.train_clips,
+            grid=args.grid,
+            seed=args.seed,
+            arch=args.arch,
+            epochs=args.epochs,
+            precision=args.precision,
+            chunk_size=args.chunk_size,
+            max_litho=args.max_litho,
+            serve_config=ServeConfig(
+                max_batch_clips=args.batch_clips,
+                max_delay_s=args.delay_ms / 1e3,
+                max_pending_clips=args.max_pending,
+                threshold=args.threshold,
+            ),
+            bus=bus,
+            supervisor=supervisor,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = booted.server
+    print(f"layout {layout.name}: {len(booted.clips)} clips, "
+          f"tech {layout.tech_nm} nm")
+    print(f"model v1 trained on {args.train_clips} clips "
+          f"({int(booted.train_labels.sum())} hotspots, "
+          f"T={booted.temperature.temperature_:.3f})")
 
-    serve_pool = clips[args.train_clips :]
+    if args.listen is not None:
+        from ..serve.transport import SocketTransport, TransportConfig
+
+        transport = SocketTransport(
+            server,
+            config=TransportConfig(
+                host=args.listen,
+                port=args.port,
+                max_connections=args.max_connections,
+                read_timeout_s=args.read_timeout,
+                write_timeout_s=args.write_timeout,
+            ),
+            bus=bus,
+            supervisor=supervisor,
+        )
+        transport.start()
+        # the reconnect tests parse this exact line for readiness
+        print(f"listening on {transport.address[0]}:"
+              f"{transport.address[1]} (pid {os.getpid()})",
+              flush=True)
+        transport.run_until_signalled()
+        supervisor.detach()
+        stats = server.stats()
+        print(f"drained: served {stats['completed']} requests, "
+              f"{stats['rejected']} shed")
+        return 0
+
+    if len(booted.serve_pool) < args.request_clips:
+        print(
+            f"error: only {len(booted.serve_pool)} clips left to serve; "
+            "reduce --train-clips/--request-clips",
+            file=sys.stderr,
+        )
+        server.close(drain=False)
+        return 2
+    serve_pool = booted.serve_pool
     latencies: list[float] = []
     lock = threading.Lock()
 
@@ -735,6 +763,128 @@ def serve_main(argv=None) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro-query
+# ----------------------------------------------------------------------
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-query",
+        description="Remote client of a `repro serve --listen` daemon: "
+                    "submit clips off a layout for scoring, or probe "
+                    "the daemon's health/stats.",
+    )
+    parser.add_argument("layout", nargs="?", default=None,
+                        help="layout file (.glp/.gds) whose clips are "
+                             "submitted (omit with --health/--stats)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="daemon host (default 127.0.0.1)")
+    parser.add_argument("--port", type=_port, default=7643,
+                        help="daemon port (default 7643)")
+    parser.add_argument("--tech", type=int, default=None,
+                        help="technology node in nm for GDS input")
+    parser.add_argument("--model", default=None,
+                        help="model version to score with (default: the "
+                             "daemon's single registered model)")
+    parser.add_argument("--clips", type=_positive_int, default=16,
+                        metavar="N",
+                        help="clips submitted per request (default 16)")
+    parser.add_argument("--offset", type=_nonnegative_int, default=0,
+                        metavar="K",
+                        help="skip the first K extracted clips "
+                             "(default 0)")
+    parser.add_argument("--requests", type=_positive_int, default=1,
+                        metavar="M",
+                        help="consecutive requests to send (default 1)")
+    parser.add_argument("--timeout", type=_positive_float, default=30.0,
+                        metavar="SECONDS",
+                        help="end-to-end deadline per request; the "
+                             "remaining budget rides the frame header "
+                             "and bounds the server-side batch wait "
+                             "(default 30)")
+    parser.add_argument("--retries", type=_positive_int, default=5,
+                        help="attempts per request on retryable "
+                             "transport faults (default 5)")
+    parser.add_argument("--health", action="store_true",
+                        help="print the daemon's health JSON and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the daemon's stats JSON (transport "
+                             "+ server counters + guard report) and "
+                             "exit")
+    return parser
+
+
+def query_main(argv=None) -> int:
+    args = build_query_parser().parse_args(argv)
+
+    import json
+
+    from ..serve.transport import (
+        ClientConfig,
+        DetectionClient,
+        TransportError,
+    )
+
+    config = ClientConfig(
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    with DetectionClient(config) as client:
+        try:
+            if args.health or args.stats:
+                probe = client.health() if args.health else client.stats()
+                print(json.dumps(probe, indent=2, sort_keys=True))
+                return 0
+            if args.layout is None:
+                print("error: a layout is required unless --health or "
+                      "--stats is given", file=sys.stderr)
+                return 2
+
+            from ..data.synth import DUV_RULES, EUV_RULES
+            from ..layout.clip import extract_clip_grid
+            from ..layout.gds import load_gds
+            from ..layout.glp import load_layout
+
+            try:
+                if str(args.layout).lower().endswith((".gds", ".gdsii")):
+                    layout = load_gds(args.layout, tech_nm=args.tech or 28)
+                else:
+                    layout = load_layout(args.layout)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if args.tech is not None:
+                layout.tech_nm = args.tech
+            rules = EUV_RULES if layout.tech_nm <= 10 else DUV_RULES
+            clips = extract_clip_grid(
+                layout, rules.clip_size, rules.core_margin, drop_empty=False
+            )[args.offset :]
+            if not clips:
+                print(f"error: no clips past --offset {args.offset}",
+                      file=sys.stderr)
+                return 2
+
+            total = hotspots = 0
+            for i in range(args.requests):
+                chunk = clips[i * args.clips : (i + 1) * args.clips]
+                if not chunk:
+                    break
+                result = client.submit(chunk, model=args.model)
+                total += len(result.scores)
+                hotspots += result.n_hotspots
+                print(f"request {i + 1}: {result.n_hotspots} hotspots in "
+                      f"{len(result.scores)} clips "
+                      f"(model {result.model}, coalesced "
+                      f"{result.coalesced})")
+            print(f"total: {hotspots} hotspots in {total} clips")
+            return 0
+        except TransportError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
+
+
+# ----------------------------------------------------------------------
 # umbrella entry point
 # ----------------------------------------------------------------------
 
@@ -742,10 +892,12 @@ def main(argv=None) -> int:
     """Umbrella dispatcher: ``repro <detect|serve|benchmark|...> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
-        print("usage: repro <detect|serve|benchmark|report|convert> "
+        print("usage: repro <detect|serve|query|benchmark|report|convert> "
               "[options]\n"
               "  detect     run PSHD on a layout (.glp/.gds)\n"
-              "  serve      batched detection daemon + demo clients\n"
+              "  serve      batched detection daemon (--listen for the\n"
+              "             network transport, else demo clients)\n"
+              "  query      remote client of a serve --listen daemon\n"
               "  benchmark  build ICCAD-style datasets\n"
               "  report     regenerate the paper's tables/figures\n"
               "  convert    convert between GLP and GDSII")
@@ -755,6 +907,8 @@ def main(argv=None) -> int:
         return detect_main(rest)
     if command == "serve":
         return serve_main(rest)
+    if command == "query":
+        return query_main(rest)
     if command == "benchmark":
         return benchmark_main(rest)
     if command == "report":

@@ -97,6 +97,30 @@ Serving events (see :mod:`repro.serve`):
     batch the request rode in (equal to ``n_clips`` when it rode
     alone).
 
+Transport events (see :mod:`repro.serve.transport`):
+
+``transport_listening``
+    ``host, port, max_connections`` — the socket front door is
+    accepting connections.
+``transport_conn_rejected``
+    ``peer, detail, max_connections`` — a connection was shed at the
+    accept loop (cap reached or the transport is closing); the peer got
+    one retryable ``overloaded`` error frame.
+``transport_retry``
+    ``attempt, error, detail, sleep_s`` — the client hit a retryable
+    transport fault and is backing off before its next attempt.
+``transport_drain``
+    ``n_connections, drain`` — the transport stopped accepting and is
+    shutting its live connections down (gracefully when ``drain``).
+``serve_circuit_open``
+    ``failures, threshold, error`` — the client's circuit breaker
+    opened after consecutive retryable failures; calls now fail fast.
+``serve_circuit_half_open``
+    ``waited_s`` — the cool-down elapsed; one probe request decides
+    whether the circuit re-closes or re-opens.
+``serve_circuit_closed``
+    ``recovered_from`` — a successful exchange closed the circuit.
+
 Run-health events (see :mod:`repro.engine.guard`):
 
 ``health_alert``
@@ -155,6 +179,13 @@ EVENT_KINDS = (
     "request_received",
     "batch_dispatched",
     "request_completed",
+    "transport_listening",
+    "transport_conn_rejected",
+    "transport_retry",
+    "transport_drain",
+    "serve_circuit_open",
+    "serve_circuit_half_open",
+    "serve_circuit_closed",
     "health_alert",
     "recovery_applied",
     "degraded_mode",
@@ -389,6 +420,42 @@ class ProgressPrinter:
                 f"{payload['n_clips']} clips "
                 f"(coalesced {payload['coalesced']}, "
                 f"{payload['serve_seconds'] * 1e3:.1f} ms)"
+            )
+        elif event.kind == "transport_listening":
+            line = (
+                f"serve: listening on {payload['host']}:{payload['port']} "
+                f"(max {payload['max_connections']} connections)"
+            )
+        elif event.kind == "transport_conn_rejected":
+            line = (
+                f"  ! serve: shed connection from {payload['peer']} "
+                f"({payload['detail']})"
+            )
+        elif event.kind == "transport_retry":
+            line = (
+                f"  serve: retry #{payload['attempt']} after "
+                f"{payload['error']} (backoff "
+                f"{payload['sleep_s'] * 1e3:.0f} ms)"
+            )
+        elif event.kind == "transport_drain":
+            line = (
+                f"serve: draining {payload['n_connections']} "
+                f"connection(s)"
+            )
+        elif event.kind == "serve_circuit_open":
+            line = (
+                f"  ! serve: circuit OPEN after {payload['failures']} "
+                f"failures ({payload['error']})"
+            )
+        elif event.kind == "serve_circuit_half_open":
+            line = (
+                f"  serve: circuit half-open after "
+                f"{payload['waited_s']:.2f}s cool-down"
+            )
+        elif event.kind == "serve_circuit_closed":
+            line = (
+                f"  serve: circuit closed (recovered from "
+                f"{payload['recovered_from']})"
             )
         elif event.kind == "scan_started":
             line = (

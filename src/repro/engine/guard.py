@@ -35,6 +35,10 @@ sentinel               policy (and degraded fallback)
                        (queue or litho budget cannot absorb it); the
                        client gets an ``AdmissionError`` and retries
                        later
+``transport_overload`` the socket transport shed a whole connection at
+                       the accept loop (live-connection cap); the peer
+                       gets one retryable ``overloaded`` error frame
+                       and backs off
 =====================  =============================================
 
 Every trip emits typed bus events (``health_alert`` →
@@ -558,6 +562,20 @@ class RunSupervisor:
         so no degraded mode is entered."""
         self._alert("serve_overload", stage=stage, detail=detail, **extra)
         self._recovery("shed_load", "serve_overload", stage=stage, **extra)
+
+    def connection_shed(
+        self, detail: str, stage: str = "transport", **extra
+    ) -> None:
+        """Record a connection shed at the socket transport's accept
+        loop (live-connection cap).  Like :meth:`overloaded`, shedding
+        *is* the recovery: the peer got a retryable ``overloaded``
+        error frame and backs off, so no degraded mode is entered."""
+        self._alert(
+            "transport_overload", stage=stage, detail=detail, **extra
+        )
+        self._recovery(
+            "shed_connection", "transport_overload", stage=stage, **extra
+        )
 
     # ------------------------------------------------------------------
     # litho budget (Definition 3)

@@ -7,12 +7,15 @@ request queue: concurrent :meth:`~DetectionServer.submit` calls are
 coalesced into batched extract → scale → predict → calibrate pipeline
 passes, with admission control tied to the litho budget and the
 :class:`~repro.engine.guard.RunSupervisor` machinery.  See
-:mod:`repro.serve.server` for the full design notes.
+:mod:`repro.serve.server` for the full design notes, and
+:mod:`repro.serve.transport` for the out-of-process socket layer
+(framed protocol, :class:`SocketTransport`, :class:`DetectionClient`).
 """
 
 from .server import (
     AdmissionError,
     DetectionServer,
+    RequestTimeout,
     ServeConfig,
     ServeError,
     ServeResult,
@@ -22,6 +25,7 @@ from .server import (
 __all__ = [
     "AdmissionError",
     "DetectionServer",
+    "RequestTimeout",
     "ServeConfig",
     "ServeError",
     "ServeResult",

@@ -1,0 +1,126 @@
+"""Shared quick-train bootstrap for the serving entry points.
+
+The ``repro serve`` CLI and the transport tests both need the same
+thing before a daemon can serve: clips off a layout, a litho-labeled
+training slice, a fitted classifier + temperature, and a warm
+:class:`~repro.serve.DetectionServer`.  Keeping that recipe in one
+place is what makes the kill-and-reconnect guarantee testable — a
+daemon restarted out of process trains **bit-identically** to an
+in-process reference as long as both call :func:`bootstrap_server`
+with the same arguments (training is seeded and single-threaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..calibration.temperature import TemperatureScaler
+from ..data.synth import DUV_RULES, EUV_RULES
+from ..dataplane import BatchFeatureExtractor, DataPlaneConfig
+from ..features.pipeline import FeatureExtractor
+from ..layout.clip import extract_clip_grid
+from ..litho.labeler import LithoLabeler
+from ..litho.simulator import LithoSimulator
+from ..model.classifier import HotspotClassifier
+from .server import DetectionServer, ServeConfig
+
+__all__ = ["ServeBootstrap", "bootstrap_server"]
+
+
+@dataclass
+class ServeBootstrap:
+    """Everything :func:`bootstrap_server` built, ready to serve."""
+
+    server: DetectionServer
+    plane: BatchFeatureExtractor
+    labeler: LithoLabeler
+    classifier: HotspotClassifier
+    temperature: TemperatureScaler
+    #: all clips extracted off the layout (training slice first)
+    clips: list
+    #: litho labels of the training slice
+    train_labels: np.ndarray
+    #: clips beyond the training slice — what demo clients query
+    serve_pool: list
+
+
+def bootstrap_server(
+    layout,
+    train_clips: int = 48,
+    grid: int = 96,
+    seed: int = 0,
+    arch: str = "mlp",
+    epochs: int = 6,
+    precision: str = "exact",
+    chunk_size: int = 64,
+    max_litho: int | None = None,
+    serve_config: ServeConfig | None = None,
+    bus=None,
+    supervisor=None,
+    model_name: str = "v1",
+) -> ServeBootstrap:
+    """Quick-train a model on ``layout`` and wrap it in a warm server.
+
+    Deterministic end to end for fixed arguments: clip extraction is
+    geometric, litho labels are simulated, and training is seeded — so
+    two processes bootstrapping from the same layout file serve
+    bit-identical scores.
+
+    Raises :class:`ValueError` when the layout yields fewer clips than
+    ``train_clips`` + 1 (nothing would be left to serve).
+    """
+    rules = EUV_RULES if layout.tech_nm <= 10 else DUV_RULES
+    clips = extract_clip_grid(
+        layout, rules.clip_size, rules.core_margin, drop_empty=False
+    )
+    if len(clips) <= train_clips:
+        raise ValueError(
+            f"layout yields {len(clips)} clips; need more than "
+            f"train_clips={train_clips} to have anything left to serve"
+        )
+    plane = BatchFeatureExtractor(
+        FeatureExtractor(grid=grid),
+        config=DataPlaneConfig(chunk_size=chunk_size, precision=precision),
+        bus=bus,
+    )
+    simulator = LithoSimulator.for_tech(layout.tech_nm, grid=grid)
+    labeler = LithoLabeler(simulator, bus=bus, max_queries=max_litho)
+
+    train_slice = clips[:train_clips]
+    labels = np.asarray(labeler.label_batch(train_slice), dtype=np.int64)
+    tensors = plane.encode_batch(train_slice)
+    classifier = HotspotClassifier(
+        input_shape=plane.extractor.tensor_shape,
+        arch=arch,
+        epochs=epochs,
+        seed=seed,
+        precision=precision,
+    )
+    classifier.fit_scaler(tensors)
+    classifier.fit(tensors, labels)
+    temperature = TemperatureScaler()
+    try:
+        temperature.fit(classifier.predict_logits(tensors), labels)
+    except (ValueError, FloatingPointError):
+        temperature.temperature_ = 1.0  # identity fallback
+
+    server = DetectionServer(
+        plane,
+        config=serve_config if serve_config is not None else ServeConfig(),
+        bus=bus,
+        labeler=labeler,
+        supervisor=supervisor,
+    )
+    server.register_model(model_name, classifier, temperature)
+    return ServeBootstrap(
+        server=server,
+        plane=plane,
+        labeler=labeler,
+        classifier=classifier,
+        temperature=temperature,
+        clips=clips,
+        train_labels=labels,
+        serve_pool=clips[train_clips:],
+    )

@@ -59,6 +59,7 @@ from ..engine.session import InferenceSession
 __all__ = [
     "AdmissionError",
     "DetectionServer",
+    "RequestTimeout",
     "ServeConfig",
     "ServeError",
     "ServeResult",
@@ -72,6 +73,12 @@ class ServeError(RuntimeError):
 
 class AdmissionError(ServeError):
     """The request was shed at admission (queue or litho budget)."""
+
+
+class RequestTimeout(ServeError):
+    """The submit wait timed out; a still-queued request is withdrawn
+    (it will never be dispatched), an in-flight one runs to completion
+    but its result is discarded.  Safe to retry — scoring is pure."""
 
 
 class ServerClosed(ServeError):
@@ -251,7 +258,8 @@ class DetectionServer:
             self._pending_clips = 0  #: guarded_by: _lock
             self._counters = {  #: guarded_by: _lock
                 "received": 0, "rejected": 0, "completed": 0,
-                "failed": 0, "batches": 0, "dispatched_clips": 0,
+                "failed": 0, "timed_out": 0, "batches": 0,
+                "dispatched_clips": 0,
             }
         self._wake = threading.Event()
         self._thread = threading.Thread(
@@ -292,11 +300,20 @@ class DetectionServer:
         self._wake.set()
         if started and self._thread.is_alive():
             self._thread.join(timeout=self.config.drain_timeout_s)
-            if self._thread.is_alive():
-                raise ServeError(
-                    "dispatcher did not drain within "
-                    f"{self.config.drain_timeout_s}s"
-                )
+        # promptness guarantee: whatever is still queued after the join
+        # (a dead dispatcher, a drain that ran out of time) is failed
+        # now — a submitter must never stay blocked on its future
+        with self._lock:
+            leftovers = list(self._queue)
+            self._queue = []
+            self._pending_clips = 0
+        for request in leftovers:
+            request.fail(ServerClosed("server closed before dispatch"))
+        if started and self._thread.is_alive():
+            raise ServeError(
+                "dispatcher did not drain within "
+                f"{self.config.drain_timeout_s}s"
+            )
 
     def __enter__(self) -> "DetectionServer":
         self.start()
@@ -401,10 +418,24 @@ class DetectionServer:
             )
         self._wake.set()
         if not request.done.wait(timeout):
-            raise ServeError(
-                f"request timed out after {timeout}s (still queued or "
-                "in flight)"
-            )
+            # withdraw a still-queued request so the dispatcher never
+            # wastes a batch slot on a caller that already gave up
+            with self._lock:
+                try:
+                    self._queue.remove(request)
+                except ValueError:
+                    withdrawn = False  # already taken by the dispatcher
+                else:
+                    withdrawn = True
+                    self._pending_clips -= len(clips)
+                    self._counters["timed_out"] += 1
+            if withdrawn or not request.done.is_set():
+                raise RequestTimeout(
+                    f"request timed out after {timeout}s "
+                    f"({'withdrawn from queue' if withdrawn else 'in flight'})"
+                )
+            # completed in the race window between wait and withdraw —
+            # fall through and return the result
         if request.error is not None:
             raise request.error
         assert request.result is not None

@@ -8,7 +8,11 @@ with a clear message and exit code 2.
 
 import pytest
 
-from repro.cli.main import build_detect_parser, build_serve_parser
+from repro.cli.main import (
+    build_detect_parser,
+    build_query_parser,
+    build_serve_parser,
+)
 
 
 def _parse_detect(extra):
@@ -91,6 +95,16 @@ class TestServeValidation:
             ["--train-clips", "0"],
             ["--epochs", "0"],
             ["--max-litho", "0"],
+            # the transport flags: zero/negative must die at parse
+            # time, never reach a half-started daemon
+            ["--port", "0"],
+            ["--port", "-1"],
+            ["--port", "70000"],
+            ["--max-connections", "0"],
+            ["--max-connections", "-2"],
+            ["--read-timeout", "0"],
+            ["--read-timeout", "-1.5"],
+            ["--write-timeout", "0"],
         ],
     )
     def test_rejects_bad_values(self, flags, capsys):
@@ -104,3 +118,44 @@ class TestServeValidation:
         assert args.clients == 2
         assert args.batch_clips == 256
         assert args.threshold == 0.5
+        assert args.listen is None
+        assert args.port == 7643
+        assert args.max_connections == 32
+        assert args.read_timeout == 30.0
+
+
+class TestQueryValidation:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--port", "0"],
+            ["--port", "65536"],
+            ["--port", "-7"],
+            ["--timeout", "0"],
+            ["--timeout", "-1"],
+            ["--retries", "0"],
+            ["--retries", "-1"],
+            ["--clips", "0"],
+            ["--requests", "0"],
+            ["--offset", "-1"],
+        ],
+    )
+    def test_rejects_bad_values(self, flags, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_query_parser().parse_args(["layout.glp", *flags])
+        assert exc.value.code == 2
+        assert flags[0] in capsys.readouterr().err
+
+    def test_defaults_parse(self):
+        args = build_query_parser().parse_args(["layout.glp"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7643
+        assert args.timeout == 30.0
+        assert args.retries == 5
+        assert args.clips == 16
+        assert args.offset == 0
+
+    def test_health_needs_no_layout(self):
+        args = build_query_parser().parse_args(["--health"])
+        assert args.layout is None
+        assert args.health is True

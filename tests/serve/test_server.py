@@ -25,6 +25,7 @@ from repro.model.classifier import HotspotClassifier
 from repro.serve import (
     AdmissionError,
     DetectionServer,
+    RequestTimeout,
     ServeConfig,
     ServeError,
     ServerClosed,
@@ -298,6 +299,45 @@ class TestLifecycle:
             thread.join(30)
         assert results == [None]
         assert isinstance(errors[0], ServerClosed)
+
+    def test_close_without_drain_is_prompt(self, corpus):
+        # regression: close(drain=False) must fail a queued request
+        # promptly — not leave the submitter blocked until its own
+        # submit timeout expires
+        server = DetectionServer(_plane(), autostart=False)
+        server.register_model("v1", corpus["clf"])
+        threads, results, errors = _submit_all(
+            server, [corpus["pool"][0:2]]
+        )
+        _await_queued(server, 1)
+        started = time.monotonic()
+        server.close(drain=False)
+        for thread in threads:
+            thread.join(30)
+        elapsed = time.monotonic() - started
+        assert not any(thread.is_alive() for thread in threads)
+        assert elapsed < 5.0, (
+            f"queued submitter took {elapsed:.1f}s to observe close"
+        )
+        assert isinstance(errors[0], ServerClosed)
+        assert results == [None]
+
+    def test_submit_timeout_withdraws_queued_request(self, corpus):
+        # a timed-out request is withdrawn from the queue, counted, and
+        # never dispatched once the server eventually starts
+        server = DetectionServer(_plane(), autostart=False)
+        server.register_model("v1", corpus["clf"])
+        with pytest.raises(RequestTimeout, match="withdrawn"):
+            server.submit(corpus["pool"][0:2], timeout=0.2)
+        stats = server.stats()
+        assert stats["timed_out"] == 1
+        assert stats["queue_depth"] == 0
+        # starting afterwards must not resurrect the withdrawn request
+        server.start()
+        follow_up = server.submit(corpus["pool"][2:4], timeout=120)
+        assert follow_up.scores.shape == (2,)
+        assert server.stats()["completed"] == 1
+        server.close(drain=True)
 
     def test_submit_after_close_raises(self, corpus):
         server = DetectionServer(_plane())
